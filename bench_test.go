@@ -1,0 +1,384 @@
+package repro_test
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"testing"
+
+	repro "repro"
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/dimemas"
+	"repro/internal/experiments"
+	"repro/internal/pattern"
+	"repro/internal/traces"
+	"repro/internal/venus"
+	"repro/internal/xgft"
+)
+
+// Benchmarks regenerating the paper's tables and figures (one per
+// artifact; see DESIGN.md §3). Reduced message sizes and seed counts
+// keep iterations meaningful while preserving every contention ratio;
+// cmd/experiments reproduces the full-size sweeps.
+
+// benchOpt is the figure-sweep configuration used by benchmarks.
+func benchOpt() experiments.Options {
+	return experiments.Options{
+		Engine:      experiments.Analytic,
+		Seeds:       10,
+		Parallelism: 1, // benchmark the work, not the pool
+	}
+}
+
+func BenchmarkTable1Labels(b *testing.B) {
+	tp, err := xgft.NewSlimmedTree(16, 16, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Table1(tp)
+		experiments.WriteTable1(io.Discard, tp, rows)
+	}
+}
+
+func BenchmarkFig2aWRF(b *testing.B) {
+	app := experiments.WRFApp()
+	opt := benchOpt()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(app, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig2bCG(b *testing.B) {
+	app := experiments.CGApp()
+	opt := benchOpt()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure2(app, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3CGDecomposition(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure3(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4Distribution(b *testing.B) {
+	for _, w2 := range []int{16, 10} {
+		b.Run(fmt.Sprintf("w2=%d", w2), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := experiments.Figure4(w2, 5); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig5aWRF(b *testing.B) {
+	app := experiments.WRFApp()
+	opt := benchOpt()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(app, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig5bCG(b *testing.B) {
+	app := experiments.CGApp()
+	opt := benchOpt()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Figure5(app, opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2bSimulated is the measured-engine counterpart of one
+// Fig. 2b data point: the full trace-replay pipeline for CG.D-128 on
+// the full tree (message sizes scaled down 16x).
+func BenchmarkFig2bSimulated(b *testing.B) {
+	tp, err := xgft.NewSlimmedTree(16, 16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := traces.CG(128, 48*1024, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := dimemas.Config{Net: venus.DefaultConfig()}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dimemas.Replay(tr, tp, core.NewDModK(tp), cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Micro-benchmarks of the load-bearing substrates ---
+
+func BenchmarkRouteComputation(b *testing.B) {
+	tp, err := xgft.NewSlimmedTree(16, 16, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	algos := map[string]core.Algorithm{
+		"s-mod-k": core.NewSModK(tp),
+		"random":  core.NewRandom(tp, 1),
+		"r-NCA-u": core.NewRandomNCAUp(tp, 1),
+	}
+	for name, algo := range algos {
+		b.Run(name, func(b *testing.B) {
+			b.ReportAllocs()
+			n := tp.Leaves()
+			for i := 0; i < b.N; i++ {
+				s := i % n
+				d := (i*31 + 17) % n
+				_ = algo.Route(s, d)
+			}
+		})
+	}
+}
+
+func BenchmarkRoutingTableWRF(b *testing.B) {
+	tp, err := xgft.NewSlimmedTree(16, 16, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := pattern.WRF256()
+	algo := core.NewDModK(tp)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.BuildTable(tp, algo, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkColoredOptimizer(b *testing.B) {
+	tp, err := xgft.NewSlimmedTree(16, 16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	phases := repro.CGD128Phases()
+	for i := 0; i < b.N; i++ {
+		_ = core.NewColored(tp, phases, core.ColoredConfig{})
+	}
+}
+
+func BenchmarkContentionAnalysis(b *testing.B) {
+	tp, err := xgft.NewSlimmedTree(16, 16, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	p := pattern.UniformRandom(256, 4, 64*1024, rng)
+	tbl, err := core.BuildTable(tp, core.NewRandom(tp, 1), p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := contention.Analyze(tp, p, tbl.Routes); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	// Event-processing rate of the network simulator under a loaded
+	// random permutation.
+	tp, err := xgft.NewSlimmedTree(16, 16, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	p := pattern.RandomPermutationPattern(256, 64*1024, rng)
+	algo := core.NewRandom(tp, 9)
+	cfg := venus.DefaultConfig()
+	b.ReportAllocs()
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		s, err := venus.New(tp, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, f := range p.Flows {
+			if err := s.Inject(venus.Message{Src: f.Src, Dst: f.Dst, Bytes: f.Bytes, Route: algo.Route(f.Src, f.Dst)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := s.Run(0); err != nil {
+			b.Fatal(err)
+		}
+		events += s.Q.Processed()
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}
+
+func BenchmarkTraceReplayWRF(b *testing.B) {
+	tp, err := xgft.NewSlimmedTree(16, 16, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tr, err := traces.WRF(16, 16, 32*1024, 1, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := dimemas.Config{Net: venus.DefaultConfig()}
+	algo := core.NewRandomNCADown(tp, 3)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := dimemas.Replay(tr, tp, algo, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- Ablation benchmarks (design choices DESIGN.md calls out) ---
+
+// BenchmarkAblationBalancedRelabeling compares the paper's balanced
+// maps against naive uniform relabeling: same cost per route, but the
+// census spread (reported as a custom metric) shows what balance buys.
+func BenchmarkAblationBalancedRelabeling(b *testing.B) {
+	tp, err := xgft.NewSlimmedTree(16, 16, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	variants := map[string]func(uint64) core.Algorithm{
+		"balanced":   func(s uint64) core.Algorithm { return core.NewRandomNCAUp(tp, s) },
+		"unbalanced": func(s uint64) core.Algorithm { return core.NewUnbalancedNCAUp(tp, s) },
+	}
+	for name, mk := range variants {
+		b.Run(name, func(b *testing.B) {
+			spread := 0
+			for i := 0; i < b.N; i++ {
+				census := core.AllPairsNCACensus(tp, mk(uint64(i)+1))
+				min, max := 1<<31, 0
+				for _, c := range census {
+					if c < min {
+						min = c
+					}
+					if c > max {
+						max = c
+					}
+				}
+				spread += max - min
+			}
+			b.ReportMetric(float64(spread)/float64(b.N), "census-spread")
+		})
+	}
+}
+
+// BenchmarkAblationForwardingMode compares store-and-forward against
+// virtual cut-through on the same loaded run: bandwidth ratios match,
+// absolute latency differs.
+func BenchmarkAblationForwardingMode(b *testing.B) {
+	tp, err := xgft.NewSlimmedTree(16, 16, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(2))
+	p := pattern.RandomPermutationPattern(256, 32*1024, rng)
+	algo := core.NewRandomNCADown(tp, 4)
+	for _, mode := range []struct {
+		name string
+		cut  bool
+	}{{"store-and-forward", false}, {"cut-through", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			cfg := venus.DefaultConfig()
+			cfg.CutThrough = mode.cut
+			var last int64
+			for i := 0; i < b.N; i++ {
+				end, err := venus.RunPattern(tp, algo, p, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = int64(end)
+			}
+			b.ReportMetric(float64(last), "sim-ns")
+		})
+	}
+}
+
+// BenchmarkAblationBufferDepth sweeps the switch input buffer depth:
+// tiny buffers throttle the pipeline, large ones stop paying off.
+func BenchmarkAblationBufferDepth(b *testing.B) {
+	tp, err := xgft.NewSlimmedTree(16, 16, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(8))
+	p := pattern.RandomPermutationPattern(256, 32*1024, rng)
+	algo := core.NewRandom(tp, 6)
+	for _, depth := range []int{1, 2, 8, 32} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			cfg := venus.DefaultConfig()
+			cfg.BufferSegments = depth
+			var last int64
+			for i := 0; i < b.N; i++ {
+				end, err := venus.RunPattern(tp, algo, p, cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				last = int64(end)
+			}
+			b.ReportMetric(float64(last), "sim-ns")
+		})
+	}
+}
+
+// BenchmarkAblationColoredPasses sweeps the local-search budget of
+// the pattern-aware baseline: the CG transpose needs few passes to
+// reach a conflict-free coloring.
+func BenchmarkAblationColoredPasses(b *testing.B) {
+	tp, err := xgft.NewSlimmedTree(16, 16, 16)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ph, err := pattern.CGTransposePhase(128, 1024)
+	if err != nil {
+		b.Fatal(err)
+	}
+	phases := []*pattern.Pattern{ph}
+	for _, passes := range []int{1, 4, 16} {
+		b.Run(fmt.Sprintf("passes=%d", passes), func(b *testing.B) {
+			var groups int
+			for i := 0; i < b.N; i++ {
+				col := core.NewColored(tp, phases, core.ColoredConfig{MaxPasses: passes})
+				groups = col.MaxGroups(ph)
+			}
+			b.ReportMetric(float64(groups), "max-groups")
+		})
+	}
+}
+
+// BenchmarkExtensionDeepTree regenerates the three-level XGFT
+// generalization sweep.
+func BenchmarkExtensionDeepTree(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.DeepTreeSweep(3, 16*1024); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkNCACensus(b *testing.B) {
+	tp, err := xgft.NewSlimmedTree(16, 16, 10)
+	if err != nil {
+		b.Fatal(err)
+	}
+	algo := core.NewRandomNCAUp(tp, 1)
+	for i := 0; i < b.N; i++ {
+		_ = core.AllPairsNCACensus(tp, algo)
+	}
+}

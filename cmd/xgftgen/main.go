@@ -1,0 +1,69 @@
+// Command xgftgen describes an XGFT topology: the Table I label
+// schema, node and link counts per level, and the Eq. (1) switch
+// count.
+//
+// Usage:
+//
+//	xgftgen -xgft "2;16,16;1,10"
+//	xgftgen -kary 16 -n 2
+//	xgftgen -xgft "3;4,4,4;1,2,2" -labels 1
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/experiments"
+	"repro/internal/xgft"
+)
+
+func main() {
+	var (
+		spec   = flag.String("xgft", "", `topology as "h;m1,..,mh;w1,..,wh" (e.g. "2;16,16;1,10")`)
+		kary   = flag.Int("kary", 0, "build a k-ary n-tree with this k (with -n)")
+		levels = flag.Int("n", 0, "number of levels for -kary")
+		labels = flag.Int("labels", -1, "also print every node label of this level")
+	)
+	flag.Parse()
+
+	tp, err := buildTopology(*spec, *kary, *levels)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xgftgen:", err)
+		os.Exit(2)
+	}
+
+	experiments.WriteTable1(os.Stdout, tp, experiments.Table1(tp))
+	fmt.Printf("leaves: %d   slimmed: %v", tp.Leaves(), tp.IsSlimmed())
+	if k, ok := tp.IsKaryNTree(); ok {
+		fmt.Printf("   (%d-ary %d-tree)", k, tp.Height())
+	}
+	fmt.Println()
+
+	if *labels >= 0 {
+		if *labels > tp.Height() {
+			fmt.Fprintf(os.Stderr, "xgftgen: level %d out of range [0,%d]\n", *labels, tp.Height())
+			os.Exit(2)
+		}
+		fmt.Printf("labels of level %d:\n", *labels)
+		for idx := 0; idx < tp.NodesAt(*labels); idx++ {
+			fmt.Printf("  %4d  %s\n", idx, tp.FormatLabel(*labels, idx))
+		}
+	}
+}
+
+func buildTopology(spec string, kary, levels int) (*xgft.Topology, error) {
+	switch {
+	case spec != "" && kary != 0:
+		return nil, fmt.Errorf("give either -xgft or -kary, not both")
+	case spec != "":
+		return xgft.Parse(spec)
+	case kary != 0:
+		if levels <= 0 {
+			return nil, fmt.Errorf("-kary needs -n")
+		}
+		return xgft.NewKaryNTree(kary, levels)
+	default:
+		return nil, fmt.Errorf("give -xgft or -kary (see -help)")
+	}
+}

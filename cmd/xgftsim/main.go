@@ -1,0 +1,104 @@
+// Command xgftsim runs one simulation: an application trace (or a
+// one-shot pattern) replayed over an XGFT under a routing scheme,
+// reporting absolute completion time and the slowdown against the
+// ideal full crossbar — one data point of the paper's Figs. 2/5.
+//
+// Usage:
+//
+//	xgftsim -xgft "2;16,16;1,10" -algo r-NCA-u -app cg -bytes 65536
+//	xgftsim -xgft "2;16,16;1,16" -algo random -app wrf -seed 3
+//	xgftsim -xgft "2;16,16;1,8" -algo d-mod-k -app cg -engine analytic
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/dimemas"
+	"repro/internal/experiments"
+	"repro/internal/traces"
+	"repro/internal/venus"
+	"repro/internal/xgft"
+)
+
+func main() {
+	var (
+		spec    = flag.String("xgft", "2;16,16;1,16", `topology as "h;m1,..;w1,.."`)
+		algo    = flag.String("algo", "d-mod-k", "routing scheme: "+strings.Join(core.AlgorithmNames(), ", "))
+		app     = flag.String("app", "cg", "application: wrf or cg")
+		seed    = flag.Uint64("seed", 1, "seed for randomized schemes")
+		bytes   = flag.Int64("bytes", 0, "message size override (0 = paper sizes)")
+		engine  = flag.String("engine", "simulated", "engine: simulated or analytic")
+		mapping = flag.String("mapping", "linear", "rank placement: linear, round-robin or random")
+		cut     = flag.Bool("cut-through", false, "virtual cut-through instead of store-and-forward")
+	)
+	flag.Parse()
+
+	if err := run(*spec, *algo, *app, *seed, *bytes, *engine, *mapping, *cut); err != nil {
+		fmt.Fprintln(os.Stderr, "xgftsim:", err)
+		os.Exit(2)
+	}
+}
+
+func run(spec, algoName, appName string, seed uint64, bytes int64, engine, mapping string, cutThrough bool) error {
+	tp, err := xgft.Parse(spec)
+	if err != nil {
+		return err
+	}
+	app, err := experiments.AppByName(appName)
+	if err != nil {
+		return err
+	}
+	if app.Ranks > tp.Leaves() {
+		return fmt.Errorf("%s needs %d leaves, topology has %d", app.Name, app.Ranks, tp.Leaves())
+	}
+	phases := app.Phases(bytes)
+	algorithm, err := core.NewByName(algoName, tp, seed, phases)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("application %s on %s under %s\n", app.Name, tp, algorithm.Name())
+
+	switch engine {
+	case "analytic":
+		slow, err := contention.PhasedSlowdown(tp, algorithm, phases)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("analytic slowdown vs full crossbar: %.3f\n", slow)
+		return nil
+	case "simulated":
+		tr, err := traces.FromPhases(app.Ranks, phases, 1, 0)
+		if err != nil {
+			return err
+		}
+		netCfg := venus.DefaultConfig()
+		netCfg.CutThrough = cutThrough
+		m, err := dimemas.MappingByName(mapping, tp, app.Ranks, int64(seed))
+		if err != nil {
+			return err
+		}
+		cfg := dimemas.Config{Net: netCfg, Mapping: m}
+		start := time.Now()
+		net, err := dimemas.Replay(tr, tp, algorithm, cfg)
+		if err != nil {
+			return err
+		}
+		ref, err := dimemas.ReplayOnCrossbar(tr, cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("network time:  %12d ns\n", net)
+		fmt.Printf("crossbar time: %12d ns\n", ref)
+		fmt.Printf("measured slowdown: %.3f   (wall time %.2fs)\n",
+			float64(net)/float64(ref), time.Since(start).Seconds())
+		return nil
+	default:
+		return fmt.Errorf("unknown engine %q", engine)
+	}
+}

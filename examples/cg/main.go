@@ -1,0 +1,66 @@
+// CG.D-128 pathology: reproduces the paper's §VII-A analysis of why
+// D-mod-k collapses on NAS CG's transpose phase (Fig. 3) — the
+// pattern's regularity is congruent with the modulo route assignment,
+// funnelling every switch's 16 flows through 2 of its 16 up-links —
+// and how the relabeling-based r-NCA schemes break the congruence.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	repro "repro"
+)
+
+func main() {
+	const bytes = 64 * 1024
+	phases, err := repro.CGPhases(128, bytes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tree, err := repro.NewSlimmedTree(16, 16, 16) // full 16-ary 2-tree
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Phase anatomy under D-mod-k: four switch-local butterfly phases
+	// and the Eq. (2) transpose.
+	fmt.Println("CG.D-128 phases under d-mod-k on the full 16-ary 2-tree:")
+	dmodk := repro.NewDModK(tree)
+	for i, ph := range phases {
+		s, err := repro.AnalyticSlowdown(tree, dmodk, ph)
+		if err != nil {
+			log.Fatal(err)
+		}
+		kind := "switch-local"
+		if s > 1 {
+			kind = "inter-switch  <-- the pathological transpose"
+		}
+		fmt.Printf("  phase %d: slowdown %.2f  %s\n", i+1, s, kind)
+	}
+
+	// Eq. (2): within switch 0 the transpose sends s -> s/2*16 + s%2,
+	// so d mod 16 is the sender's parity: D-mod-k uses 2 of 16 roots.
+	transpose := phases[len(phases)-1]
+	fmt.Println("\nEq. (2) destinations of switch-0 sources (d mod 16 is 0 or 1):")
+	for _, f := range transpose.Flows[:8] {
+		fmt.Printf("  %3d -> %3d   (d mod 16 = %d)\n", f.Src, f.Dst, f.Dst%16)
+	}
+
+	// The full five-phase run, simulated: D-mod-k pays the transpose,
+	// Random pays a spread tax everywhere, r-NCA-d avoids both worst
+	// cases, Colored is the pattern-aware bound.
+	fmt.Println("\nfull CG.D-128 run (simulated, slowdown vs full crossbar):")
+	for _, algo := range []repro.Algorithm{
+		dmodk,
+		repro.NewRandom(tree, 1),
+		repro.NewRandomNCADown(tree, 1),
+		repro.NewColored(tree, phases, repro.ColoredConfig{}),
+	} {
+		s, err := repro.MeasuredPhasedSlowdown(tree, algo, phases, repro.DefaultSimConfig())
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  %-9s %.2f\n", algo.Name(), s)
+	}
+}

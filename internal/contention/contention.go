@@ -1,0 +1,228 @@
+// Package contention implements the combinatorial contention analysis
+// of the paper (§IV, §VII): per-channel loads of a routed pattern,
+// the endpoint-vs-network contention distinction, the grouped
+// contention metric of the authors' ICS'09 work (flows serialized at
+// an endpoint share channels for free), and analytic completion-time
+// bounds that normalize against the ideal full crossbar.
+package contention
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pattern"
+	"repro/internal/xgft"
+)
+
+// Analysis is the result of Analyze: per-channel byte totals, flow
+// counts and endpoint-group counts, plus per-adapter injection and
+// ejection totals.
+type Analysis struct {
+	Topo *xgft.Topology
+
+	UpBytes    []int64 // per channel, ascending direction
+	DownBytes  []int64 // per channel, descending direction
+	UpFlows    []int
+	DownFlows  []int
+	UpGroups   []int // distinct sources using the up channel
+	DownGroups []int // distinct destinations using the down channel
+
+	InjectBytes []int64 // per leaf
+	EjectBytes  []int64 // per leaf
+	OutDegree   []int
+	InDegree    []int
+}
+
+// Analyze computes the census of a routed pattern. routes must be
+// aligned with p.Flows (as produced by core.BuildTable). Self-flows
+// are skipped.
+func Analyze(t *xgft.Topology, p *pattern.Pattern, routes []xgft.Route) (*Analysis, error) {
+	if len(routes) != len(p.Flows) {
+		return nil, fmt.Errorf("contention: %d routes for %d flows", len(routes), len(p.Flows))
+	}
+	n := t.TotalChannels()
+	a := &Analysis{
+		Topo:        t,
+		UpBytes:     make([]int64, n),
+		DownBytes:   make([]int64, n),
+		UpFlows:     make([]int, n),
+		DownFlows:   make([]int, n),
+		UpGroups:    make([]int, n),
+		DownGroups:  make([]int, n),
+		InjectBytes: p.BytesOut(),
+		EjectBytes:  p.BytesIn(),
+		OutDegree:   p.OutDegree(),
+		InDegree:    p.InDegree(),
+	}
+	upSeen := make(map[groupKey]bool)
+	downSeen := make(map[groupKey]bool)
+	for i, f := range p.Flows {
+		if f.Src == f.Dst {
+			continue
+		}
+		r := routes[i]
+		if r.Src != f.Src || r.Dst != f.Dst {
+			return nil, fmt.Errorf("contention: route %d endpoints (%d,%d) do not match flow (%d,%d)", i, r.Src, r.Dst, f.Src, f.Dst)
+		}
+		r.Walk(t, func(_, _, _, ch int, up bool) {
+			if up {
+				a.UpBytes[ch] += f.Bytes
+				a.UpFlows[ch]++
+				k := groupKey{ch: ch, endpoint: f.Src}
+				if !upSeen[k] {
+					upSeen[k] = true
+					a.UpGroups[ch]++
+				}
+			} else {
+				a.DownBytes[ch] += f.Bytes
+				a.DownFlows[ch]++
+				k := groupKey{ch: ch, endpoint: f.Dst}
+				if !downSeen[k] {
+					downSeen[k] = true
+					a.DownGroups[ch]++
+				}
+			}
+		})
+	}
+	return a, nil
+}
+
+type groupKey struct {
+	ch       int
+	endpoint int
+}
+
+// MaxEndpointContention returns the paper's §IV endpoint contention:
+// the largest number of messages produced by or destined to a single
+// node.
+func (a *Analysis) MaxEndpointContention() int {
+	max := 0
+	for _, d := range a.OutDegree {
+		if d > max {
+			max = d
+		}
+	}
+	for _, d := range a.InDegree {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// MaxNetworkContention returns the largest endpoint-group count over
+// all channels: contention a routing scheme is responsible for. A
+// value of 1 means no two independently-serialized flows ever share a
+// channel (the pattern is routed without blocking).
+func (a *Analysis) MaxNetworkContention() int {
+	max := 0
+	for _, g := range a.UpGroups {
+		if g > max {
+			max = g
+		}
+	}
+	for _, g := range a.DownGroups {
+		if g > max {
+			max = g
+		}
+	}
+	return max
+}
+
+// MaxFlowsPerChannel returns the classic (endpoint-blind) congestion
+// figure the paper argues against using alone.
+func (a *Analysis) MaxFlowsPerChannel() int {
+	max := 0
+	for _, f := range a.UpFlows {
+		if f > max {
+			max = f
+		}
+	}
+	for _, f := range a.DownFlows {
+		if f > max {
+			max = f
+		}
+	}
+	return max
+}
+
+// CompletionBound returns the congestion lower bound on completion
+// time in bytes: the largest byte total any single serialized
+// resource (injection adapter, wire direction, ejection adapter)
+// must move. Divide by link bandwidth for seconds.
+func (a *Analysis) CompletionBound() int64 {
+	var max int64
+	for _, b := range a.InjectBytes {
+		if b > max {
+			max = b
+		}
+	}
+	for _, b := range a.EjectBytes {
+		if b > max {
+			max = b
+		}
+	}
+	for _, b := range a.UpBytes {
+		if b > max {
+			max = b
+		}
+	}
+	for _, b := range a.DownBytes {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// CrossbarBound returns the completion bound of the same pattern on
+// the ideal single-stage crossbar: only injection and ejection
+// serialize.
+func CrossbarBound(p *pattern.Pattern) int64 {
+	var max int64
+	for _, b := range p.BytesOut() {
+		if b > max {
+			max = b
+		}
+	}
+	for _, b := range p.BytesIn() {
+		if b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// GroupProfile returns the sorted multiset of group counts of the
+// given direction over all channels — the paper's "number of
+// patterns routed with contention level C" view. Channels carrying
+// nothing are omitted.
+func (a *Analysis) GroupProfile(up bool) []int {
+	src := a.DownGroups
+	if up {
+		src = a.UpGroups
+	}
+	var out []int
+	for _, g := range src {
+		if g > 0 {
+			out = append(out, g)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// NCAHistogram counts routes per NCA switch at the given level.
+// Routes with a lower NCA level are ignored, matching Fig. 4 which
+// plots only root-level assignments.
+func NCAHistogram(t *xgft.Topology, routes []xgft.Route, level int) []int {
+	counts := make([]int, t.NodesAt(level))
+	for _, r := range routes {
+		if r.NCALevel() != level {
+			continue
+		}
+		_, idx := r.NCA(t)
+		counts[idx]++
+	}
+	return counts
+}

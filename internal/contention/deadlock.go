@@ -1,0 +1,90 @@
+package contention
+
+import (
+	"fmt"
+
+	"repro/internal/xgft"
+)
+
+// Deadlock analysis (§V: "finding a minimal deadlock-free path").
+// Up*/down* routing on a fat tree is deadlock-free because the
+// channel dependency graph (Dally & Seitz) is acyclic: ascending
+// channels only depend on higher ascending channels or on descending
+// ones, and descending channels only on lower descending channels.
+// VerifyDeadlockFree checks that property constructively for an
+// arbitrary route set, so route tables loaded from files (or produced
+// by future non-minimal schemes) can be certified before simulation.
+
+// dirChannel identifies a directed channel: wire ID plus direction.
+type dirChannel struct {
+	wire int
+	up   bool
+}
+
+// VerifyDeadlockFree builds the channel dependency graph induced by
+// the routes (an edge from channel A to channel B wherever some route
+// traverses A immediately before B) and reports an error describing a
+// cycle if one exists.
+func VerifyDeadlockFree(t *xgft.Topology, routes []xgft.Route) error {
+	adj := make(map[dirChannel][]dirChannel)
+	seenEdge := make(map[[2]dirChannel]bool)
+	for _, r := range routes {
+		var prev *dirChannel
+		r.Walk(t, func(_, _, _, wire int, up bool) {
+			cur := dirChannel{wire: wire, up: up}
+			if prev != nil {
+				e := [2]dirChannel{*prev, cur}
+				if !seenEdge[e] {
+					seenEdge[e] = true
+					adj[*prev] = append(adj[*prev], cur)
+				}
+			}
+			p := cur
+			prev = &p
+		})
+	}
+	// Iterative DFS three-coloring for cycle detection.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[dirChannel]int)
+	type frame struct {
+		node dirChannel
+		next int
+	}
+	for start := range adj {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{node: start}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(adj[f.node]) {
+				child := adj[f.node][f.next]
+				f.next++
+				switch color[child] {
+				case white:
+					color[child] = gray
+					stack = append(stack, frame{node: child})
+				case gray:
+					return fmt.Errorf("contention: channel dependency cycle through wire %d (%s) and wire %d (%s)",
+						f.node.wire, dirName(f.node.up), child.wire, dirName(child.up))
+				}
+			} else {
+				color[f.node] = black
+				stack = stack[:len(stack)-1]
+			}
+		}
+	}
+	return nil
+}
+
+func dirName(up bool) string {
+	if up {
+		return "up"
+	}
+	return "down"
+}

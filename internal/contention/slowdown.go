@@ -1,0 +1,79 @@
+package contention
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/xgft"
+)
+
+// Slowdown computes the analytic slowdown of one communication phase
+// under a routing algorithm: the congestion completion bound on the
+// topology divided by the same bound on the ideal full crossbar
+// (the paper's normalization, §VI-B). The result is >= 1 up to
+// floating-point for any minimal routing.
+func Slowdown(t *xgft.Topology, algo core.Algorithm, p *pattern.Pattern) (float64, error) {
+	tbl, err := core.BuildTable(t, algo, p)
+	if err != nil {
+		return 0, err
+	}
+	a, err := Analyze(t, p, tbl.Routes)
+	if err != nil {
+		return 0, err
+	}
+	xb := CrossbarBound(p)
+	if xb == 0 {
+		return 1, nil // pattern without network traffic
+	}
+	return float64(a.CompletionBound()) / float64(xb), nil
+}
+
+// PhasedSlowdown computes the slowdown of a sequence of dependent
+// communication phases (e.g. CG's five exchanges): total bound over
+// the phases divided by the total crossbar bound. Phases are assumed
+// separated by synchronization, so their times add.
+func PhasedSlowdown(t *xgft.Topology, algo core.Algorithm, phases []*pattern.Pattern) (float64, error) {
+	if len(phases) == 0 {
+		return 0, fmt.Errorf("contention: no phases")
+	}
+	var network, crossbar int64
+	for _, p := range phases {
+		tbl, err := core.BuildTable(t, algo, p)
+		if err != nil {
+			return 0, err
+		}
+		a, err := Analyze(t, p, tbl.Routes)
+		if err != nil {
+			return 0, err
+		}
+		xb := CrossbarBound(p)
+		network += a.CompletionBound()
+		crossbar += xb
+	}
+	if crossbar == 0 {
+		return 1, nil
+	}
+	return float64(network) / float64(crossbar), nil
+}
+
+// PhaseBounds returns the per-phase completion bounds (in bytes) on
+// the topology and on the crossbar, for phase-resolved reporting
+// (Fig. 3's "fifth phase takes eight times longer" analysis).
+func PhaseBounds(t *xgft.Topology, algo core.Algorithm, phases []*pattern.Pattern) (network, crossbar []int64, err error) {
+	network = make([]int64, len(phases))
+	crossbar = make([]int64, len(phases))
+	for i, p := range phases {
+		tbl, err := core.BuildTable(t, algo, p)
+		if err != nil {
+			return nil, nil, err
+		}
+		a, err := Analyze(t, p, tbl.Routes)
+		if err != nil {
+			return nil, nil, err
+		}
+		network[i] = a.CompletionBound()
+		crossbar[i] = CrossbarBound(p)
+	}
+	return network, crossbar, nil
+}

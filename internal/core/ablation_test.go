@@ -1,0 +1,124 @@
+package core
+
+import "testing"
+
+func TestUnbalancedFamilyConcentratesButDoesNotBalance(t *testing.T) {
+	tp := paperTree(t, 10)
+	algo := NewUnbalancedNCAUp(tp, 5)
+	if algo.Name() != "u-NCA-u" {
+		t.Errorf("name = %s", algo.Name())
+	}
+	// Concentration: one ascent per source.
+	for s := 0; s < 64; s += 7 {
+		var ref []int
+		for d := 0; d < tp.Leaves(); d += 13 {
+			if tp.NCALevel(s, d) != 2 {
+				continue
+			}
+			r := algo.Route(s, d)
+			if err := r.Validate(tp); err != nil {
+				t.Fatal(err)
+			}
+			if ref == nil {
+				ref = r.Up
+				continue
+			}
+			for i := range ref {
+				if r.Up[i] != ref[i] {
+					t.Fatalf("source %d has two ascents", s)
+				}
+			}
+		}
+	}
+}
+
+func TestBalancedBeatsUnbalancedWithinSwitch(t *testing.T) {
+	// The balancing property the paper argues for: within one switch,
+	// the balanced family never puts more than ceil(m/w) sources on
+	// one port; the uniform family regularly does. Checked over many
+	// seeds so the statement is statistical for the unbalanced one.
+	tp := paperTree(t, 10)
+	worstBalanced, worstUnbalanced := 0, 0
+	for seed := uint64(1); seed <= 30; seed++ {
+		bal := NewRandomNCAUp(tp, seed)
+		unbal := NewUnbalancedNCAUp(tp, seed)
+		for sw := 0; sw < 16; sw++ {
+			bCount := make([]int, 10)
+			uCount := make([]int, 10)
+			for leaf := sw * 16; leaf < (sw+1)*16; leaf++ {
+				pb, _ := RelabeledDigit(bal, 1, leaf)
+				pu, _ := RelabeledDigit(unbal, 1, leaf)
+				bCount[pb]++
+				uCount[pu]++
+			}
+			for _, c := range bCount {
+				if c > worstBalanced {
+					worstBalanced = c
+				}
+			}
+			for _, c := range uCount {
+				if c > worstUnbalanced {
+					worstUnbalanced = c
+				}
+			}
+		}
+	}
+	if worstBalanced != 2 { // ceil(16/10)
+		t.Errorf("balanced worst-case port load = %d, want 2", worstBalanced)
+	}
+	if worstUnbalanced <= worstBalanced {
+		t.Errorf("unbalanced worst %d not above balanced %d: ablation shows no effect", worstUnbalanced, worstBalanced)
+	}
+}
+
+func TestUnbalancedCensusHasWiderSpread(t *testing.T) {
+	// Fig. 4b view of the ablation: the all-pairs census of the
+	// unbalanced variant spreads further from the mean than the
+	// balanced one (averaged over seeds).
+	tp := paperTree(t, 10)
+	spread := func(mk func(seed uint64) Algorithm) int {
+		total := 0
+		for seed := uint64(1); seed <= 10; seed++ {
+			census := AllPairsNCACensus(tp, mk(seed))
+			min, max := 1<<31, 0
+			for _, c := range census {
+				if c < min {
+					min = c
+				}
+				if c > max {
+					max = c
+				}
+			}
+			total += max - min
+		}
+		return total
+	}
+	balanced := spread(func(s uint64) Algorithm { return NewRandomNCAUp(tp, s) })
+	unbalanced := spread(func(s uint64) Algorithm { return NewUnbalancedNCAUp(tp, s) })
+	if unbalanced <= balanced {
+		t.Errorf("unbalanced census spread %d not wider than balanced %d", unbalanced, balanced)
+	}
+}
+
+func TestUnbalancedDownVariant(t *testing.T) {
+	tp := paperTree(t, 10)
+	algo := NewUnbalancedNCADown(tp, 3)
+	if algo.Name() != "u-NCA-d" {
+		t.Errorf("name = %s", algo.Name())
+	}
+	for d := 0; d < 32; d += 5 {
+		refRoot := -1
+		for s := 0; s < tp.Leaves(); s += 17 {
+			if tp.NCALevel(s, d) != 2 {
+				continue
+			}
+			r := algo.Route(s, d)
+			_, root := r.NCA(tp)
+			if refRoot == -1 {
+				refRoot = root
+			} else if root != refRoot {
+				t.Fatalf("destination %d uses two roots", d)
+			}
+		}
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"repro/internal/pattern"
+	"repro/internal/xgft"
+)
+
+// AutoModK implements the heuristic the paper sketches in §VII-C for
+// non-symmetric patterns: "choose S-mod-k for a many-destinations
+// dominated pattern, and D-mod-k for a many-sources dominated
+// pattern". The intuition follows the duality analysis: the scheme
+// should concentrate contention at the endpoint side that dominates,
+// so the other side's channels stay conflict-free.
+//
+// Asymmetry is measured on the pattern the routing is provisioned
+// for: if the mean out-degree of active sources exceeds the mean
+// in-degree of active destinations (fan-out dominated, every source
+// talks to many destinations), S-mod-k is chosen, because each
+// source's many flows then share one ascent. Conversely a fan-in
+// dominated pattern picks D-mod-k. Ties (all permutations, all
+// symmetric patterns) default to D-mod-k, the better-studied scheme.
+func AutoModK(t *xgft.Topology, p *pattern.Pattern) Algorithm {
+	if fanOutDominated(p) {
+		return NewSModK(t)
+	}
+	return NewDModK(t)
+}
+
+// fanOutDominated reports whether active sources talk to more
+// destinations than active destinations hear sources.
+func fanOutDominated(p *pattern.Pattern) bool {
+	out := p.OutDegree()
+	in := p.InDegree()
+	var outSum, outActive, inSum, inActive int
+	for _, d := range out {
+		if d > 0 {
+			outSum += d
+			outActive++
+		}
+	}
+	for _, d := range in {
+		if d > 0 {
+			inSum += d
+			inActive++
+		}
+	}
+	if outActive == 0 || inActive == 0 {
+		return false
+	}
+	// Mean degrees share the numerator (total flows), so the
+	// comparison reduces to which side has FEWER active endpoints:
+	// fewer active sources means each active source fans out more.
+	return outActive < inActive
+}

@@ -1,0 +1,136 @@
+// Package core implements the oblivious routing schemes analyzed and
+// proposed by Rodriguez et al. (CLUSTER 2009) for extended generalized
+// fat trees: the classical S-mod-k and D-mod-k self-routing schemes,
+// static Random NCA selection, the paper's new relabeling-based family
+// (Random NCA Up / Random NCA Down), and a pattern-aware "Colored"
+// baseline reproducing the role of the ICS'09 scheme the paper compares
+// against.
+//
+// All algorithms produce, for each (source, destination) leaf pair, a
+// minimal route through one of the pair's nearest common ancestors
+// (xgft.Route). Oblivious algorithms are pure functions of the pair
+// (plus a seed); Colored is a function of a whole pattern.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/pattern"
+	"repro/internal/xgft"
+)
+
+// Algorithm computes a static route for every leaf pair. Route must be
+// deterministic: calling it twice with the same arguments yields the
+// same route (static, pre-computable routing tables).
+type Algorithm interface {
+	// Name identifies the algorithm in reports ("s-mod-k", ...).
+	Name() string
+	// Route returns the minimal route from src to dst. src == dst
+	// yields an empty route (no network traversal).
+	Route(src, dst int) xgft.Route
+}
+
+// splitmix64 advances the splitmix64 state and returns the next value.
+// It is the deterministic keyed stream behind Random and the
+// relabeling family, so routing tables are reproducible from a seed
+// without storing per-pair state.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// mix hashes a tuple of values into a well-distributed 64-bit key.
+func mix(vals ...uint64) uint64 {
+	h := uint64(0x8a5cd789635d2dff)
+	for _, v := range vals {
+		h = splitmix64(h ^ v)
+	}
+	return h
+}
+
+// uniform maps a hash to [0, n) without the bias of a plain modulus
+// (multiply-shift reduction).
+func uniform(h uint64, n int) int {
+	hi, _ := mul64(h, uint64(n))
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo), avoiding
+// math/bits only to keep the arithmetic explicit.
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask = 0xffffffff
+	a0, a1 := a&mask, a>>32
+	b0, b1 := b&mask, b>>32
+	t := a0 * b0
+	lo = t & mask
+	c := t >> 32
+	t = a1*b0 + c
+	m := t & mask
+	c = t >> 32
+	t = a0*b1 + m
+	lo |= (t & mask) << 32
+	hi = a1*b1 + c + t>>32
+	return hi, lo
+}
+
+// Table is a pre-computed routing table: routes for every flow of a
+// pattern (the artifact a subnet manager would install). It keeps
+// insertion order aligned with the pattern's flow order.
+type Table struct {
+	Topo   *xgft.Topology
+	Algo   string
+	Routes []xgft.Route
+}
+
+// BuildTable computes routes for every flow of the pattern. Self-flows
+// get empty routes. The table is validated on construction.
+func BuildTable(t *xgft.Topology, algo Algorithm, p *pattern.Pattern) (*Table, error) {
+	if p.N > t.Leaves() {
+		return nil, fmt.Errorf("core: pattern over %d endpoints does not fit %d leaves", p.N, t.Leaves())
+	}
+	tbl := &Table{Topo: t, Algo: algo.Name(), Routes: make([]xgft.Route, len(p.Flows))}
+	for i, f := range p.Flows {
+		r := algo.Route(f.Src, f.Dst)
+		if f.Src != f.Dst {
+			if err := r.Validate(t); err != nil {
+				return nil, fmt.Errorf("core: %s produced invalid route for flow %d: %w", algo.Name(), i, err)
+			}
+		}
+		tbl.Routes[i] = r
+	}
+	return tbl, nil
+}
+
+// AllPairsNCACensus counts, for every top-ancestor choice, how many of
+// the N*(N-1) ordered pairs with NCA at the top level are assigned to
+// each root, reproducing the census of the paper's Fig. 4 ("number of
+// routes assigned per NCA"). Pairs whose NCA is below the top level do
+// not reach a root and are excluded, as in the figure.
+func AllPairsNCACensus(t *xgft.Topology, algo Algorithm) []int {
+	counts := make([]int, t.NodesAt(t.Height()))
+	n := t.Leaves()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d || t.NCALevel(s, d) != t.Height() {
+				continue
+			}
+			r := algo.Route(s, d)
+			_, idx := r.NCA(t)
+			counts[idx]++
+		}
+	}
+	return counts
+}
+
+// guideDigit returns the label digit position that steers the up-port
+// choice at the given switch level: the paper's "M_l mod w_{l+1}" uses
+// digit l-1 (0-indexed) at level l; the leaf uses digit 0 (w_1 = 1 in
+// all of the paper's topologies, so the leaf choice is degenerate).
+func guideDigit(level int) int {
+	if level == 0 {
+		return 0
+	}
+	return level - 1
+}

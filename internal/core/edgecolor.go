@@ -1,0 +1,215 @@
+package core
+
+import "fmt"
+
+// Bipartite edge coloring is the combinatorial engine behind the
+// level-wise permutation scheduler (levelwise.go): by König's
+// edge-coloring theorem, a bipartite multigraph of maximum degree D
+// is D-edge-colorable, and each color class touches every vertex at
+// most once. The implementation is the classic alternating-path
+// (Vizing-fan-free) algorithm: insert edges one by one; when the two
+// endpoints have no common free color, flip an alternating two-color
+// path to make one.
+
+// bipartiteColorer colors edges between `left` and `right` vertex
+// sets with `colors` colors.
+type bipartiteColorer struct {
+	colors int
+	// usedL[u][c] / usedR[v][c] = edge index using color c at the
+	// vertex, or -1.
+	usedL, usedR [][]int32
+	// edge endpoints and assigned colors.
+	edgeL, edgeR []int32
+	edgeColor    []int32
+}
+
+// newBipartiteColorer allocates a colorer for nL left and nR right
+// vertices.
+func newBipartiteColorer(nL, nR, colors int) *bipartiteColorer {
+	b := &bipartiteColorer{
+		colors: colors,
+		usedL:  make([][]int32, nL),
+		usedR:  make([][]int32, nR),
+	}
+	for i := range b.usedL {
+		b.usedL[i] = fillNeg(colors)
+	}
+	for i := range b.usedR {
+		b.usedR[i] = fillNeg(colors)
+	}
+	return b
+}
+
+func fillNeg(n int) []int32 {
+	s := make([]int32, n)
+	for i := range s {
+		s[i] = -1
+	}
+	return s
+}
+
+// addEdge inserts an edge and colors it, flipping an alternating path
+// if necessary. It fails only if an endpoint already has full degree
+// (more edges than colors), which violates the coloring precondition.
+func (b *bipartiteColorer) addEdge(u, v int) (int, error) {
+	id := int32(len(b.edgeL))
+	b.edgeL = append(b.edgeL, int32(u))
+	b.edgeR = append(b.edgeR, int32(v))
+	b.edgeColor = append(b.edgeColor, -1)
+
+	cu := b.freeColor(b.usedL[u])
+	cv := b.freeColor(b.usedR[v])
+	if cu < 0 || cv < 0 {
+		return 0, fmt.Errorf("core: edge coloring: vertex degree exceeds %d colors", b.colors)
+	}
+	if cu == cv {
+		b.assign(id, cu)
+		return cu, nil
+	}
+	// u is free on cu, v is free on cv. Flip the alternating
+	// (cu, cv)-path starting at v: every edge colored cu becomes cv
+	// and vice versa. The path cannot reach u (it would close an odd
+	// cycle in a bipartite graph), so afterwards both endpoints are
+	// free on cu.
+	b.flipPath(int(v), cu, cv, false)
+	b.assign(id, cu)
+	return cu, nil
+}
+
+func (b *bipartiteColorer) freeColor(used []int32) int {
+	for c, e := range used {
+		if e < 0 {
+			return c
+		}
+	}
+	return -1
+}
+
+func (b *bipartiteColorer) assign(id int32, c int) {
+	b.edgeColor[id] = int32(c)
+	b.usedL[b.edgeL[id]][c] = id
+	b.usedR[b.edgeR[id]][c] = id
+}
+
+// flipPath walks the alternating path of colors (a, b) starting at a
+// right vertex (onLeft=false) that is free on b but may be taken on
+// a, then swaps the colors of every edge on the path. The path is
+// collected before any mutation: recoloring in place would make the
+// walk rediscover the edge it just flipped.
+func (b *bipartiteColorer) flipPath(start, colA, colB int, onLeft bool) {
+	var path []int32
+	v := start
+	left := onLeft
+	want := colA
+	for {
+		var used []int32
+		if left {
+			used = b.usedL[v]
+		} else {
+			used = b.usedR[v]
+		}
+		e := used[want]
+		if e < 0 {
+			break
+		}
+		path = append(path, e)
+		if left {
+			v = int(b.edgeR[e])
+		} else {
+			v = int(b.edgeL[e])
+		}
+		left = !left
+		if want == colA {
+			want = colB
+		} else {
+			want = colA
+		}
+	}
+	// Clear the old slots of every path edge, then install the
+	// swapped colors; two passes keep the used arrays consistent even
+	// though adjacent path edges exchange slots at shared vertices.
+	for _, e := range path {
+		c := b.edgeColor[e]
+		b.usedL[b.edgeL[e]][c] = -1
+		b.usedR[b.edgeR[e]][c] = -1
+	}
+	for _, e := range path {
+		c := b.edgeColor[e]
+		other := int32(colA)
+		if c == int32(colA) {
+			other = int32(colB)
+		}
+		b.edgeColor[e] = other
+		b.usedL[b.edgeL[e]][other] = e
+		b.usedR[b.edgeR[e]][other] = e
+	}
+}
+
+// ColorBipartite colors the edges (pairs of left/right vertex IDs)
+// with the given number of colors, returning one color per edge in
+// input order. Colors must be >= the maximum vertex degree.
+func ColorBipartite(nL, nR, colors int, edges [][2]int) ([]int, error) {
+	if colors < 1 {
+		return nil, fmt.Errorf("core: edge coloring needs at least one color")
+	}
+	b := newBipartiteColorer(nL, nR, colors)
+	out := make([]int, len(edges))
+	for i, e := range edges {
+		if e[0] < 0 || e[0] >= nL || e[1] < 0 || e[1] >= nR {
+			return nil, fmt.Errorf("core: edge %d endpoints (%d,%d) out of range", i, e[0], e[1])
+		}
+		c, err := b.addEdge(e[0], e[1])
+		if err != nil {
+			return nil, err
+		}
+		out[i] = c
+	}
+	// The alternating flips may have recolored earlier edges; report
+	// the final colors.
+	for i := range out {
+		out[i] = int(b.edgeColor[i])
+	}
+	return out, nil
+}
+
+// ColorBipartiteBalanced colors with exactly `colors` colors even
+// when the maximum degree D exceeds them: it colors with
+// ceil(D/colors)*colors virtual colors and folds them modulo
+// `colors`, so every vertex sees each folded color at most
+// ceil(D/colors) times — the balanced overload used for slimmed
+// trees, where conflicts are unavoidable and must be spread evenly
+// (paper §VII-A: "these conflicts should be distributed such that no
+// set of communicating pairs suffers more contention than others").
+func ColorBipartiteBalanced(nL, nR, colors int, edges [][2]int) ([]int, error) {
+	if colors < 1 {
+		return nil, fmt.Errorf("core: edge coloring needs at least one color")
+	}
+	degL := make([]int, nL)
+	degR := make([]int, nR)
+	maxDeg := 0
+	for i, e := range edges {
+		if e[0] < 0 || e[0] >= nL || e[1] < 0 || e[1] >= nR {
+			return nil, fmt.Errorf("core: edge %d endpoints (%d,%d) out of range", i, e[0], e[1])
+		}
+		degL[e[0]]++
+		degR[e[1]]++
+		if degL[e[0]] > maxDeg {
+			maxDeg = degL[e[0]]
+		}
+		if degR[e[1]] > maxDeg {
+			maxDeg = degR[e[1]]
+		}
+	}
+	if maxDeg == 0 {
+		return make([]int, len(edges)), nil
+	}
+	virtual := ((maxDeg + colors - 1) / colors) * colors
+	cols, err := ColorBipartite(nL, nR, virtual, edges)
+	if err != nil {
+		return nil, err
+	}
+	for i := range cols {
+		cols[i] %= colors
+	}
+	return cols, nil
+}

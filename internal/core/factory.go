@@ -1,0 +1,48 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/pattern"
+	"repro/internal/xgft"
+)
+
+// AlgorithmNames lists the selectable routing schemes in a stable
+// order (the order the paper's figures use).
+func AlgorithmNames() []string {
+	names := []string{"s-mod-k", "d-mod-k", "random", "r-NCA-u", "r-NCA-d", "colored", "level-wise"}
+	sorted := append([]string(nil), names...)
+	sort.Strings(sorted)
+	return names
+}
+
+// NewByName constructs a routing algorithm by its paper name. The
+// seed matters only for the randomized schemes; phases are required
+// only by "colored" (pattern-aware).
+func NewByName(name string, t *xgft.Topology, seed uint64, phases []*pattern.Pattern) (Algorithm, error) {
+	switch name {
+	case "s-mod-k":
+		return NewSModK(t), nil
+	case "d-mod-k":
+		return NewDModK(t), nil
+	case "random":
+		return NewRandom(t, seed), nil
+	case "r-NCA-u":
+		return NewRandomNCAUp(t, seed), nil
+	case "r-NCA-d":
+		return NewRandomNCADown(t, seed), nil
+	case "colored":
+		if len(phases) == 0 {
+			return nil, fmt.Errorf("core: colored routing needs the communication phases")
+		}
+		return NewColored(t, phases, ColoredConfig{Seed: seed}), nil
+	case "level-wise":
+		if len(phases) == 0 {
+			return nil, fmt.Errorf("core: level-wise routing needs the communication phases")
+		}
+		return NewLevelWise(t, phases)
+	default:
+		return nil, fmt.Errorf("core: unknown routing algorithm %q (known: %v)", name, AlgorithmNames())
+	}
+}

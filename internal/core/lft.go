@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/xgft"
+)
+
+// Destination-based forwarding. InfiniBand switches (the deployment
+// context of the D-mod-k literature the paper builds on) forward by
+// destination LID alone: each switch holds one output port per
+// destination. A routing scheme is implementable as such linear
+// forwarding tables (LFTs) exactly when its port choice at every
+// switch is a function of the destination only — true for D-mod-k and
+// r-NCA-d, false for S-mod-k, r-NCA-u and per-pair Random. CompileLFT
+// performs the compilation and detects violations, making the
+// distinction the paper draws between the two scheme families
+// machine-checkable.
+
+// LFT holds per-switch destination-indexed forwarding: for an
+// ascending packet at switch (level, index), Up[level][index][dst]
+// is the up-port; descending ports need no table (the label digits
+// determine them).
+type LFT struct {
+	Topo *xgft.Topology
+	// Up[l] has NodesAt(l) rows of Leaves() ports; -1 marks
+	// destinations never routed through that switch.
+	Up [][][]int8
+}
+
+// CompileLFT builds destination-based tables by probing the algorithm
+// over all (source, destination) pairs. If two sources disagree on
+// the port a shared switch should use for one destination, the
+// algorithm is not destination-based and an error identifying the
+// conflict is returned.
+func CompileLFT(t *xgft.Topology, algo Algorithm) (*LFT, error) {
+	if t.W(0) > 127 {
+		return nil, fmt.Errorf("core: LFT port width exceeds int8")
+	}
+	lft := &LFT{Topo: t, Up: make([][][]int8, t.Height())}
+	for l := 0; l < t.Height(); l++ {
+		lft.Up[l] = make([][]int8, t.NodesAt(l))
+		for i := range lft.Up[l] {
+			row := make([]int8, t.Leaves())
+			for d := range row {
+				row[d] = -1
+			}
+			lft.Up[l][i] = row
+		}
+	}
+	n := t.Leaves()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			r := algo.Route(s, d)
+			node := s
+			for l, p := range r.Up {
+				prev := lft.Up[l][node][d]
+				if prev >= 0 && int(prev) != p {
+					return nil, fmt.Errorf("core: %s is not destination-based: switch (%d,%d) forwards destination %d via ports %d and %d",
+						algo.Name(), l, node, d, prev, p)
+				}
+				lft.Up[l][node][d] = int8(p)
+				node = t.Parent(l, node, p)
+			}
+		}
+	}
+	return lft, nil
+}
+
+// Route implements Algorithm by walking the compiled tables,
+// so a compiled LFT can drive simulations directly.
+func (f *LFT) Route(src, dst int) xgft.Route {
+	t := f.Topo
+	l := t.NCALevel(src, dst)
+	r := xgft.Route{Src: src, Dst: dst}
+	if l == 0 {
+		return r
+	}
+	r.Up = make([]int, l)
+	node := src
+	for lvl := 0; lvl < l; lvl++ {
+		p := f.Up[lvl][node][dst]
+		if p < 0 {
+			// Unpopulated entry (pair never probed): fall back to the
+			// destination's own digits, the d-mod-k default every
+			// fabric ships with.
+			lab := t.Label(0, dst)
+			p = int8(lab[guideDigit(lvl)] % t.W(lvl))
+		}
+		r.Up[lvl] = int(p)
+		node = t.Parent(lvl, node, int(p))
+	}
+	return r
+}
+
+// Name implements Algorithm.
+func (f *LFT) Name() string { return "lft" }
+
+// IsDestinationBased reports whether the algorithm can be compiled to
+// destination-indexed forwarding tables on the topology.
+func IsDestinationBased(t *xgft.Topology, algo Algorithm) bool {
+	_, err := CompileLFT(t, algo)
+	return err == nil
+}

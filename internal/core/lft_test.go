@@ -1,0 +1,93 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/xgft"
+)
+
+func TestDModKIsDestinationBased(t *testing.T) {
+	tp := paperTree(t, 10)
+	lft, err := CompileLFT(tp, NewDModK(tp))
+	if err != nil {
+		t.Fatalf("d-mod-k failed to compile: %v", err)
+	}
+	// The compiled tables reproduce d-mod-k's routes exactly.
+	for s := 0; s < 64; s += 7 {
+		for d := 0; d < 256; d += 11 {
+			if s == d {
+				continue
+			}
+			want := NewDModK(tp).Route(s, d)
+			got := lft.Route(s, d)
+			for i := range want.Up {
+				if got.Up[i] != want.Up[i] {
+					t.Fatalf("LFT route %d->%d differs at level %d", s, d, i)
+				}
+			}
+		}
+	}
+}
+
+func TestRNCADownIsDestinationBased(t *testing.T) {
+	tp := paperTree(t, 10)
+	if !IsDestinationBased(tp, NewRandomNCADown(tp, 5)) {
+		t.Error("r-NCA-d is not destination-based (it must be: it concentrates destination contention)")
+	}
+}
+
+func TestSModKIsNotDestinationBased(t *testing.T) {
+	tp := paperTree(t, 16)
+	if IsDestinationBased(tp, NewSModK(tp)) {
+		t.Error("s-mod-k compiled to destination-based tables (it routes by source)")
+	}
+	if IsDestinationBased(tp, NewRandomNCAUp(tp, 1)) {
+		t.Error("r-NCA-u compiled to destination-based tables")
+	}
+	if IsDestinationBased(tp, NewRandom(tp, 1)) {
+		t.Error("per-pair random compiled to destination-based tables")
+	}
+}
+
+func TestLFTFallbackForUnpopulatedEntries(t *testing.T) {
+	tp := paperTree(t, 16)
+	lft, err := CompileLFT(tp, NewDModK(tp))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clear one entry and confirm the route still connects via the
+	// d-mod-k default.
+	lft.Up[1][0][17] = -1
+	r := lft.Route(0, 17)
+	if err := r.Validate(tp); err != nil {
+		t.Fatal(err)
+	}
+	if !r.VerifyConnects(tp) {
+		t.Error("fallback route does not connect")
+	}
+	if lft.Name() != "lft" {
+		t.Errorf("name = %s", lft.Name())
+	}
+}
+
+func TestLFTOnDeepTree(t *testing.T) {
+	tp, err := xgft.NewKaryNTree(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lft, err := CompileLFT(tp, NewRandomNCADown(tp, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 64; s += 5 {
+		for d := 0; d < 64; d += 3 {
+			if s == d {
+				continue
+			}
+			r := lft.Route(s, d)
+			if !r.VerifyConnects(tp) {
+				t.Fatalf("LFT route %d->%d broken", s, d)
+			}
+		}
+	}
+}

@@ -1,0 +1,36 @@
+package core
+
+import "repro/internal/xgft"
+
+// randomNCA implements the static Random routing of Greenberg &
+// Leiserson (and the Myrinet/InfiniBand default the paper describes):
+// every (source, destination) pair is assigned an independently,
+// uniformly chosen NCA. The choice is a pure hash of
+// (seed, src, dst, level), so the scheme is a static table — the same
+// pair always uses the same path — yet different seeds give the
+// independent samples used for the paper's boxplots.
+type randomNCA struct {
+	topo *xgft.Topology
+	seed uint64
+}
+
+// NewRandom returns the static Random routing scheme for the topology.
+func NewRandom(t *xgft.Topology, seed uint64) Algorithm {
+	return &randomNCA{topo: t, seed: seed}
+}
+
+func (r *randomNCA) Name() string { return "random" }
+
+func (r *randomNCA) Route(src, dst int) xgft.Route {
+	l := r.topo.NCALevel(src, dst)
+	rt := xgft.Route{Src: src, Dst: dst}
+	if l == 0 {
+		return rt
+	}
+	rt.Up = make([]int, l)
+	for lvl := 0; lvl < l; lvl++ {
+		h := mix(r.seed, uint64(src), uint64(dst), uint64(lvl))
+		rt.Up[lvl] = uniform(h, r.topo.W(lvl))
+	}
+	return rt
+}

@@ -1,0 +1,282 @@
+package dimemas
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eventq"
+	"repro/internal/venus"
+	"repro/internal/xgft"
+)
+
+func paperTree(t testing.TB, w2 int) *xgft.Topology {
+	t.Helper()
+	tp, err := xgft.NewSlimmedTree(16, 16, w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func cfg() Config { return Config{Net: venus.DefaultConfig()} }
+
+func replayOn(t testing.TB, tr *Trace, tp *xgft.Topology) eventq.Time {
+	t.Helper()
+	end, err := Replay(tr, tp, core.NewDModK(tp), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return end
+}
+
+func TestValidateTrace(t *testing.T) {
+	good := &Trace{Ranks: [][]Op{
+		{Send{Dst: 1, Bytes: 10, Tag: 0}, Barrier{}},
+		{Recv{Src: 0, Tag: 0}, Barrier{}},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("good trace rejected: %v", err)
+	}
+	bad := []*Trace{
+		{},
+		{Ranks: [][]Op{{Compute{Dur: -1}}}},
+		{Ranks: [][]Op{{Send{Dst: 5}}}},
+		{Ranks: [][]Op{{Send{Dst: 0, Bytes: -1}}}},
+		{Ranks: [][]Op{{ISend{Dst: 9}}}},
+		{Ranks: [][]Op{{Recv{Src: 7}}}},
+		{Ranks: [][]Op{{Barrier{}}, {}}},
+	}
+	for i, tr := range bad {
+		if err := tr.Validate(); err == nil {
+			t.Errorf("bad trace %d accepted", i)
+		}
+	}
+}
+
+func TestTraceCounters(t *testing.T) {
+	tr := &Trace{Ranks: [][]Op{
+		{Send{Dst: 1, Bytes: 100}, ISend{Dst: 1, Bytes: 50, Req: 0}, WaitAll{}},
+		{Recv{Src: 0}, Recv{Src: 0}},
+	}}
+	if got := tr.CountMessages(); got != 2 {
+		t.Errorf("messages = %d, want 2", got)
+	}
+	if got := tr.TotalBytes(); got != 150 {
+		t.Errorf("bytes = %d, want 150", got)
+	}
+}
+
+func TestPingPong(t *testing.T) {
+	tp := paperTree(t, 16)
+	tr := &Trace{Ranks: [][]Op{
+		{Send{Dst: 1, Bytes: 1024, Tag: 1}, Recv{Src: 1, Tag: 2}},
+		{Recv{Src: 0, Tag: 1}, Send{Dst: 0, Bytes: 1024, Tag: 2}},
+	}}
+	end := replayOn(t, tr, tp)
+	// Two sequential same-switch messages: 2 x 2 hops x (4096+32).
+	want := eventq.Time(2 * 2 * (4096 + 32))
+	if end != want {
+		t.Errorf("ping-pong took %d ns, want %d", end, want)
+	}
+}
+
+func TestComputeAdvancesClock(t *testing.T) {
+	tp := paperTree(t, 16)
+	tr := &Trace{Ranks: [][]Op{{Compute{Dur: 12345}}}}
+	end := replayOn(t, tr, tp)
+	if end != 12345 {
+		t.Errorf("compute-only trace ended at %d", end)
+	}
+}
+
+func TestISendOverlapsBothDirections(t *testing.T) {
+	// Two ranks exchanging simultaneously with ISend finish in about
+	// one message time (full duplex), not two.
+	tp := paperTree(t, 16)
+	const bytes = 64 * 1024
+	tr := &Trace{Ranks: [][]Op{
+		{ISend{Dst: 1, Bytes: bytes, Req: 0}, Recv{Src: 1}, WaitAll{}},
+		{ISend{Dst: 0, Bytes: bytes, Req: 0}, Recv{Src: 0}, WaitAll{}},
+	}}
+	end := replayOn(t, tr, tp)
+	oneWay := eventq.Time(bytes/8*32) + 4096 + 2*32
+	if end > oneWay+oneWay/8 {
+		t.Errorf("full-duplex exchange took %d ns, want about %d", end, oneWay)
+	}
+}
+
+func TestBlockingSendSerializes(t *testing.T) {
+	// The same exchange with blocking semantics deadlock-free order:
+	// rank 0 sends then receives; rank 1 receives then sends; total is
+	// two sequential message times.
+	tp := paperTree(t, 16)
+	const bytes = 64 * 1024
+	tr := &Trace{Ranks: [][]Op{
+		{Send{Dst: 1, Bytes: bytes}, Recv{Src: 1}},
+		{Recv{Src: 0}, Send{Dst: 0, Bytes: bytes}},
+	}}
+	end := replayOn(t, tr, tp)
+	oneWay := eventq.Time(bytes / 8 * 32)
+	if end < 2*oneWay {
+		t.Errorf("sequential exchange took %d ns, want at least %d", end, 2*oneWay)
+	}
+}
+
+func TestBarrierSynchronizes(t *testing.T) {
+	// Rank 1 computes 1 ms before the barrier; rank 0's post-barrier
+	// send cannot start earlier.
+	tp := paperTree(t, 16)
+	tr := &Trace{Ranks: [][]Op{
+		{Barrier{}, Send{Dst: 1, Bytes: 1024, Tag: 0}},
+		{Compute{Dur: 1_000_000}, Barrier{}, Recv{Src: 0, Tag: 0}},
+	}}
+	end := replayOn(t, tr, tp)
+	if end < 1_000_000 {
+		t.Errorf("barrier did not hold rank 0: end %d", end)
+	}
+}
+
+func TestConsecutiveBarriers(t *testing.T) {
+	tp := paperTree(t, 16)
+	ops := []Op{Barrier{}, Barrier{}, Barrier{}}
+	tr := &Trace{Ranks: [][]Op{ops, ops, ops}}
+	if _, err := Replay(tr, tp, core.NewDModK(tp), cfg()); err != nil {
+		t.Fatalf("consecutive barriers deadlocked: %v", err)
+	}
+}
+
+func TestWaitSpecificRequest(t *testing.T) {
+	tp := paperTree(t, 16)
+	tr := &Trace{Ranks: [][]Op{
+		{
+			ISend{Dst: 1, Bytes: 1024, Tag: 0, Req: 7},
+			Wait{Req: 7},
+			Send{Dst: 1, Bytes: 1024, Tag: 1},
+		},
+		{Recv{Src: 0, Tag: 0}, Recv{Src: 0, Tag: 1}},
+	}}
+	if _, err := Replay(tr, tp, core.NewDModK(tp), cfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAnySourceRecv(t *testing.T) {
+	tp := paperTree(t, 16)
+	tr := &Trace{Ranks: [][]Op{
+		{Recv{Src: AnySource, Tag: 5}, Recv{Src: AnySource, Tag: 5}},
+		{Send{Dst: 0, Bytes: 512, Tag: 5}},
+		{Send{Dst: 0, Bytes: 512, Tag: 5}},
+	}}
+	if _, err := Replay(tr, tp, core.NewDModK(tp), cfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSelfSend(t *testing.T) {
+	tp := paperTree(t, 16)
+	tr := &Trace{Ranks: [][]Op{
+		{Send{Dst: 0, Bytes: 4096, Tag: 0}, Recv{Src: 0, Tag: 0}},
+	}}
+	if _, err := Replay(tr, tp, core.NewDModK(tp), cfg()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStalledReplayReportsError(t *testing.T) {
+	tp := paperTree(t, 16)
+	tr := &Trace{Ranks: [][]Op{
+		{Recv{Src: 1, Tag: 0}}, // never sent
+		{},
+	}}
+	if _, err := Replay(tr, tp, core.NewDModK(tp), cfg()); err == nil {
+		t.Error("stalled replay succeeded")
+	}
+}
+
+func TestMappingValidation(t *testing.T) {
+	tp := paperTree(t, 16)
+	tr := &Trace{Ranks: [][]Op{{}, {}}}
+	c := cfg()
+	c.Mapping = []int{0}
+	if _, err := NewEngine(tr, tp, core.NewDModK(tp), c); err == nil {
+		t.Error("short mapping accepted")
+	}
+	c.Mapping = []int{0, 0}
+	if _, err := NewEngine(tr, tp, core.NewDModK(tp), c); err == nil {
+		t.Error("duplicate mapping accepted")
+	}
+	c.Mapping = []int{0, 999}
+	if _, err := NewEngine(tr, tp, core.NewDModK(tp), c); err == nil {
+		t.Error("out-of-range mapping accepted")
+	}
+}
+
+func TestCustomMappingChangesLocality(t *testing.T) {
+	// Ranks 0,1 on the same switch vs on different switches: the
+	// same-switch mapping is strictly faster (2 vs 4 hops).
+	tp := paperTree(t, 16)
+	tr := &Trace{Ranks: [][]Op{
+		{Send{Dst: 1, Bytes: 64 * 1024, Tag: 0}},
+		{Recv{Src: 0, Tag: 0}},
+	}}
+	local, err := Replay(tr, tp, core.NewDModK(tp), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := cfg()
+	c.Mapping = []int{0, 16}
+	eng, err := NewEngine(tr, tp, core.NewDModK(tp), c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := eng.Run(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if remote <= local {
+		t.Errorf("remote mapping %d not slower than local %d", remote, local)
+	}
+}
+
+func TestTooManyRanks(t *testing.T) {
+	tp := paperTree(t, 16)
+	tr := &Trace{Ranks: make([][]Op, 300)}
+	if _, err := NewEngine(tr, tp, core.NewDModK(tp), cfg()); err == nil {
+		t.Error("300 ranks on 256 leaves accepted")
+	}
+}
+
+func TestReplayOnCrossbar(t *testing.T) {
+	tr := &Trace{Ranks: [][]Op{
+		{Send{Dst: 1, Bytes: 8 * 1024, Tag: 0}},
+		{Recv{Src: 0, Tag: 0}},
+	}}
+	end, err := ReplayOnCrossbar(tr, cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end <= 0 {
+		t.Error("crossbar replay took no time")
+	}
+}
+
+func TestMeasuredSlowdownAtLeastOne(t *testing.T) {
+	tp := paperTree(t, 4)
+	tr := &Trace{Ranks: make([][]Op, 64)}
+	for r := 0; r < 64; r++ {
+		dst := (r + 17) % 64
+		src := (r - 17 + 64) % 64
+		tr.Ranks[r] = []Op{
+			ISend{Dst: dst, Bytes: 16 * 1024, Tag: 0, Req: 0},
+			Recv{Src: src, Tag: 0},
+			WaitAll{},
+		}
+	}
+	s, err := MeasuredSlowdown(tr, tp, core.NewRandom(tp, 3), cfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.99 {
+		t.Errorf("slowdown %.3f < 1", s)
+	}
+}

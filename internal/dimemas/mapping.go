@@ -1,0 +1,74 @@
+package dimemas
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/xgft"
+)
+
+// Mapping strategies assign MPI ranks to leaf nodes. The paper maps
+// processes sequentially ("the mapping of processes to nodes
+// (sequential)"); the alternatives here exist to study how placement
+// interacts with routing (locality-preserving vs locality-destroying).
+
+// LinearMapping places rank r on leaf r — the paper's sequential
+// mapping and the engine default.
+func LinearMapping(n int) []int {
+	m := make([]int, n)
+	for i := range m {
+		m[i] = i
+	}
+	return m
+}
+
+// RoundRobinMapping scatters consecutive ranks across first-level
+// switches: rank r goes to switch r mod S, local slot r / S. It
+// destroys the switch locality that patterns like CG's butterfly
+// phases rely on, and is the classic "interleaved" placement.
+func RoundRobinMapping(t *xgft.Topology, n int) ([]int, error) {
+	if n > t.Leaves() {
+		return nil, fmt.Errorf("dimemas: %d ranks do not fit %d leaves", n, t.Leaves())
+	}
+	if t.Height() < 1 {
+		return nil, fmt.Errorf("dimemas: topology has no switches")
+	}
+	switches := t.NodesAt(1)
+	perSwitch := t.M(0)
+	m := make([]int, n)
+	for r := 0; r < n; r++ {
+		sw := r % switches
+		slot := r / switches
+		if slot >= perSwitch {
+			return nil, fmt.Errorf("dimemas: round-robin overflow: rank %d needs slot %d of %d", r, slot, perSwitch)
+		}
+		m[r] = sw*perSwitch + slot
+	}
+	return m, nil
+}
+
+// RandomMapping places ranks on a uniformly random subset of leaves
+// (deterministic per seed).
+func RandomMapping(t *xgft.Topology, n int, seed int64) ([]int, error) {
+	if n > t.Leaves() {
+		return nil, fmt.Errorf("dimemas: %d ranks do not fit %d leaves", n, t.Leaves())
+	}
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(t.Leaves())
+	return perm[:n], nil
+}
+
+// MappingByName resolves "linear", "round-robin" or "random" (the
+// command-line selector).
+func MappingByName(name string, t *xgft.Topology, n int, seed int64) ([]int, error) {
+	switch name {
+	case "", "linear", "sequential":
+		return LinearMapping(n), nil
+	case "round-robin", "rr":
+		return RoundRobinMapping(t, n)
+	case "random":
+		return RandomMapping(t, n, seed)
+	default:
+		return nil, fmt.Errorf("dimemas: unknown mapping %q (want linear, round-robin or random)", name)
+	}
+}

@@ -1,0 +1,130 @@
+package dimemas_test
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dimemas"
+	"repro/internal/traces"
+	"repro/internal/venus"
+	"repro/internal/xgft"
+)
+
+func slimTree(t testing.TB, w2 int) *xgft.Topology {
+	t.Helper()
+	tp, err := xgft.NewSlimmedTree(16, 16, w2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestLinearMapping(t *testing.T) {
+	m := dimemas.LinearMapping(5)
+	for i, v := range m {
+		if v != i {
+			t.Fatalf("linear[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestRoundRobinMapping(t *testing.T) {
+	tp := slimTree(t, 16)
+	m, err := dimemas.RoundRobinMapping(tp, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ranks 0..15 land on distinct switches, slot 0.
+	for r := 0; r < 16; r++ {
+		if m[r] != r*16 {
+			t.Errorf("rank %d on node %d, want %d", r, m[r], r*16)
+		}
+	}
+	// Ranks 16..31 are slot 1 of each switch.
+	for r := 16; r < 32; r++ {
+		if m[r] != (r-16)*16+1 {
+			t.Errorf("rank %d on node %d, want %d", r, m[r], (r-16)*16+1)
+		}
+	}
+	if _, err := dimemas.RoundRobinMapping(tp, 300); err == nil {
+		t.Error("overflow accepted")
+	}
+}
+
+func TestRandomMappingDeterministicPerSeed(t *testing.T) {
+	tp := slimTree(t, 16)
+	a, err := dimemas.RandomMapping(tp, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := dimemas.RandomMapping(tp, 64, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := dimemas.RandomMapping(tp, 64, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same, diff := true, 0
+	seen := make(map[int]bool)
+	for i := range a {
+		if a[i] != b[i] {
+			same = false
+		}
+		if a[i] != c[i] {
+			diff++
+		}
+		if seen[a[i]] {
+			t.Fatalf("node %d mapped twice", a[i])
+		}
+		seen[a[i]] = true
+	}
+	if !same {
+		t.Error("same seed produced different mappings")
+	}
+	if diff == 0 {
+		t.Error("different seeds produced identical mappings")
+	}
+	if _, err := dimemas.RandomMapping(tp, 300, 1); err == nil {
+		t.Error("overflow accepted")
+	}
+}
+
+func TestMappingByName(t *testing.T) {
+	tp := slimTree(t, 16)
+	for _, name := range []string{"", "linear", "sequential", "round-robin", "rr", "random"} {
+		if _, err := dimemas.MappingByName(name, tp, 32, 1); err != nil {
+			t.Errorf("MappingByName(%q): %v", name, err)
+		}
+	}
+	if _, err := dimemas.MappingByName("spiral", tp, 32, 1); err == nil {
+		t.Error("unknown mapping accepted")
+	}
+}
+
+func TestRoundRobinDestroysCGLocality(t *testing.T) {
+	// CG's butterfly phases are switch-local under the sequential
+	// mapping; round-robin placement forces them through the roots
+	// and must be slower.
+	tp := slimTree(t, 16)
+	tr, err := traces.CG(128, 16*1024, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo := core.NewDModK(tp)
+	seqTime, err := dimemas.Replay(tr, tp, algo, dimemas.Config{Net: venus.DefaultConfig()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr, err := dimemas.RoundRobinMapping(tp, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rrTime, err := dimemas.Replay(tr, tp, algo, dimemas.Config{Net: venus.DefaultConfig(), Mapping: rr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rrTime <= seqTime {
+		t.Errorf("round-robin placement %d not slower than sequential %d", rrTime, seqTime)
+	}
+}

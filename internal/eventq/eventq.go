@@ -1,0 +1,129 @@
+// Package eventq provides the discrete-event scheduling core shared
+// by the network simulator (internal/venus) and the trace replay
+// engine (internal/dimemas): a monotonic clock and a binary-heap
+// calendar of callbacks with deterministic FIFO ordering among
+// same-time events.
+package eventq
+
+// Time is simulated time in nanoseconds.
+type Time int64
+
+// Event is a scheduled callback.
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+// Queue is a discrete-event calendar. The zero value is ready to use.
+type Queue struct {
+	now    Time
+	seq    uint64
+	events []event
+	ran    uint64
+}
+
+// Now returns the current simulated time.
+func (q *Queue) Now() Time { return q.now }
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.events) }
+
+// Processed returns the number of events executed so far (for
+// simulator statistics and benchmarks).
+func (q *Queue) Processed() uint64 { return q.ran }
+
+// At schedules fn at absolute time t. Scheduling in the past is a
+// programming error and panics: it would silently corrupt causality.
+func (q *Queue) At(t Time, fn func()) {
+	if t < q.now {
+		panic("eventq: scheduling into the past")
+	}
+	q.seq++
+	q.events = append(q.events, event{at: t, seq: q.seq, fn: fn})
+	q.up(len(q.events) - 1)
+}
+
+// After schedules fn d nanoseconds from now.
+func (q *Queue) After(d Time, fn func()) { q.At(q.now+d, fn) }
+
+// Step executes the earliest pending event, advancing the clock.
+// It reports whether an event was executed.
+func (q *Queue) Step() bool {
+	if len(q.events) == 0 {
+		return false
+	}
+	e := q.events[0]
+	last := len(q.events) - 1
+	q.events[0] = q.events[last]
+	q.events = q.events[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	q.now = e.at
+	q.ran++
+	e.fn()
+	return true
+}
+
+// Run drains the calendar. maxEvents <= 0 means unbounded; otherwise
+// Run stops (returning false) once the budget is exhausted — the
+// guard rail against runaway simulations in tests.
+func (q *Queue) Run(maxEvents uint64) bool {
+	for n := uint64(0); ; n++ {
+		if maxEvents > 0 && n >= maxEvents {
+			return false
+		}
+		if !q.Step() {
+			return true
+		}
+	}
+}
+
+// RunUntil executes events with time <= deadline; remaining events
+// stay queued and the clock ends at min(deadline, last event time).
+func (q *Queue) RunUntil(deadline Time) {
+	for len(q.events) > 0 && q.events[0].at <= deadline {
+		q.Step()
+	}
+	if q.now < deadline {
+		q.now = deadline
+	}
+}
+
+func (q *Queue) less(i, j int) bool {
+	if q.events[i].at != q.events[j].at {
+		return q.events[i].at < q.events[j].at
+	}
+	return q.events[i].seq < q.events[j].seq
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.events[i], q.events[parent] = q.events[parent], q.events[i]
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.events)
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && q.less(l, smallest) {
+			smallest = l
+		}
+		if r < n && q.less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return
+		}
+		q.events[i], q.events[smallest] = q.events[smallest], q.events[i]
+		i = smallest
+	}
+}

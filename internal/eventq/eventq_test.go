@@ -1,0 +1,151 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestOrdering(t *testing.T) {
+	var q Queue
+	var got []int
+	q.At(30, func() { got = append(got, 3) })
+	q.At(10, func() { got = append(got, 1) })
+	q.At(20, func() { got = append(got, 2) })
+	if !q.Run(0) {
+		t.Fatal("run did not drain")
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Errorf("execution order = %v", got)
+	}
+	if q.Now() != 30 {
+		t.Errorf("final time = %d, want 30", q.Now())
+	}
+	if q.Processed() != 3 {
+		t.Errorf("processed = %d", q.Processed())
+	}
+}
+
+func TestFIFOAmongEqualTimes(t *testing.T) {
+	var q Queue
+	var got []int
+	for i := 0; i < 100; i++ {
+		i := i
+		q.At(5, func() { got = append(got, i) })
+	}
+	q.Run(0)
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("same-time events reordered: %v", got[:i+1])
+		}
+	}
+}
+
+func TestAfterAndNestedScheduling(t *testing.T) {
+	var q Queue
+	var times []Time
+	q.At(10, func() {
+		times = append(times, q.Now())
+		q.After(5, func() { times = append(times, q.Now()) })
+	})
+	q.Run(0)
+	if len(times) != 2 || times[0] != 10 || times[1] != 15 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestPastSchedulingPanics(t *testing.T) {
+	var q Queue
+	q.At(10, func() {})
+	q.Step()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling into the past did not panic")
+		}
+	}()
+	q.At(5, func() {})
+}
+
+func TestRunBudget(t *testing.T) {
+	var q Queue
+	count := 0
+	var reschedule func()
+	reschedule = func() {
+		count++
+		q.After(1, reschedule)
+	}
+	q.At(0, reschedule)
+	if q.Run(50) {
+		t.Fatal("unbounded chain reported drained")
+	}
+	if count != 50 {
+		t.Errorf("executed %d events, want 50", count)
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	var q Queue
+	var got []Time
+	for _, at := range []Time{5, 10, 15, 20} {
+		at := at
+		q.At(at, func() { got = append(got, at) })
+	}
+	q.RunUntil(12)
+	if len(got) != 2 {
+		t.Fatalf("ran %d events, want 2", len(got))
+	}
+	if q.Now() != 12 {
+		t.Errorf("clock = %d, want 12", q.Now())
+	}
+	q.RunUntil(100)
+	if len(got) != 4 {
+		t.Errorf("ran %d events total, want 4", len(got))
+	}
+	if q.Len() != 0 {
+		t.Errorf("queue still has %d events", q.Len())
+	}
+}
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if q.Step() {
+		t.Error("Step on empty queue returned true")
+	}
+	if !q.Run(0) {
+		t.Error("Run on empty queue returned false")
+	}
+	q.RunUntil(50)
+	if q.Now() != 50 {
+		t.Errorf("RunUntil did not advance the idle clock: %d", q.Now())
+	}
+}
+
+func TestQuickHeapProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		var q Queue
+		n := 1 + rng.Intn(200)
+		want := make([]Time, n)
+		var got []Time
+		for i := range want {
+			at := Time(rng.Intn(1000))
+			want[i] = at
+			q.At(at, func() { got = append(got, q.Now()) })
+		}
+		q.Run(0)
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		if len(got) != n {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

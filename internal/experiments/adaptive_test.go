@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAdaptiveComparisonShapes(t *testing.T) {
+	rows, err := AdaptiveComparison(8 * 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4", len(rows))
+	}
+	byKey := make(map[string]AdaptiveRow)
+	for _, r := range rows {
+		byKey[r.Workload+"/"+itoa(r.W2)] = r
+	}
+	// Adaptive escapes the mod-k pathology on the transpose.
+	cg := byKey["cg-transpose/16"]
+	if cg.Adaptive >= cg.DModK {
+		t.Errorf("adaptive %.2f not better than d-mod-k %.2f on cg-transpose", cg.Adaptive, cg.DModK)
+	}
+	// Adaptive does not beat conflict-free d-mod-k on WRF (the cited
+	// "adaptive not always better" result).
+	wrf := byKey["wrf-halo/16"]
+	if wrf.Adaptive < wrf.DModK*0.9 {
+		t.Errorf("adaptive %.2f significantly beats d-mod-k %.2f on wrf", wrf.Adaptive, wrf.DModK)
+	}
+}
+
+func TestWriteAdaptiveComparison(t *testing.T) {
+	rows := []AdaptiveRow{{Workload: "x", W2: 16, Adaptive: 1, DModK: 2, RNCADn: 1.5, Random: 1.7}}
+	var buf bytes.Buffer
+	WriteAdaptiveComparison(&buf, rows)
+	if !strings.Contains(buf.String(), "adaptive") {
+		t.Error("missing header")
+	}
+}
+
+func itoa(v int) string {
+	if v == 16 {
+		return "16"
+	}
+	if v == 8 {
+		return "8"
+	}
+	return "?"
+}

@@ -1,0 +1,88 @@
+// Package experiments reproduces every table and figure of the
+// paper's evaluation: the Table I label schema, the Fig. 2 slowdown
+// curves of Random/S-mod-k/D-mod-k/Colored under progressive tree
+// slimming, the Fig. 3 CG traffic decomposition, the Fig. 4
+// routes-per-NCA censuses, and the Fig. 5 boxplot comparison of the
+// proposed r-NCA-u / r-NCA-d schemes. Each experiment can run on the
+// fast analytic contention model or on the full trace-replay +
+// network-simulation pipeline.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/dimemas"
+	"repro/internal/pattern"
+	"repro/internal/traces"
+)
+
+// App is one of the paper's benchmark applications, reduced to the
+// structure the routing study needs: its communication phases and a
+// replayable trace.
+type App struct {
+	// Name is the paper's label ("WRF-256", "CG.D-128").
+	Name string
+	// Ranks is the process count.
+	Ranks int
+	// DefaultBytes is the per-message size of the paper's runs.
+	DefaultBytes int64
+	// phases builds the communication phases at a message size.
+	phases func(bytes int64) []*pattern.Pattern
+}
+
+// Phases returns the communication phases with the given per-message
+// size (0 means the paper's default).
+func (a *App) Phases(bytes int64) []*pattern.Pattern {
+	if bytes <= 0 {
+		bytes = a.DefaultBytes
+	}
+	return a.phases(bytes)
+}
+
+// Trace lowers the phases into a replayable trace.
+func (a *App) Trace(bytes int64) (*dimemas.Trace, error) {
+	return traces.FromPhases(a.Ranks, a.Phases(bytes), 1, 0)
+}
+
+// WRFApp returns the paper's WRF-256 workload: pairwise ±16
+// exchanges on a 16x16 task mesh, one communication phase.
+func WRFApp() *App {
+	return &App{
+		Name:         "WRF-256",
+		Ranks:        256,
+		DefaultBytes: pattern.DefaultWRFBytes,
+		phases: func(bytes int64) []*pattern.Pattern {
+			return []*pattern.Pattern{pattern.WRF(16, 16, bytes)}
+		},
+	}
+}
+
+// CGApp returns the paper's CG.D-128 workload: four switch-local
+// butterfly phases plus the Eq. (2) transpose, 750 KB messages.
+func CGApp() *App {
+	return &App{
+		Name:         "CG.D-128",
+		Ranks:        128,
+		DefaultBytes: pattern.DefaultCGPhaseBytes,
+		phases: func(bytes int64) []*pattern.Pattern {
+			phases, err := pattern.CGPhases(128, bytes)
+			if err != nil {
+				panic(err) // unreachable: 128 is valid
+			}
+			return phases
+		},
+	}
+}
+
+// AppByName resolves "wrf" or "cg" (case-sensitive short names used
+// by the command-line tools).
+func AppByName(name string) (*App, error) {
+	switch name {
+	case "wrf", "WRF-256":
+		return WRFApp(), nil
+	case "cg", "CG.D-128":
+		return CGApp(), nil
+	default:
+		return nil, fmt.Errorf("experiments: unknown application %q (want wrf or cg)", name)
+	}
+}

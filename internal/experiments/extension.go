@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/stats"
+	"repro/internal/xgft"
+)
+
+// The experiments in this file go beyond the paper's figures along
+// the directions its text opens: the generalization claim ("extends
+// the previous work from k-ary n-trees to the more general class of
+// extended generalized fat trees") exercised on three-level trees,
+// and an ablation of the balanced-map design choice of §VIII.
+
+// DeepRow is one data point of the three-level generalization sweep:
+// XGFT(3;8,8,8;1,w,w) under progressive slimming of both upper
+// levels.
+type DeepRow struct {
+	W        int
+	Topology string
+	Switches int
+	SModK    float64
+	DModK    float64
+	RNCAUp   stats.Summary
+	RNCADn   stats.Summary
+	Random   stats.Summary
+}
+
+// DeepTreeSweep evaluates the routing family on three-level slimmed
+// trees XGFT(3;8,8,8;1,w,w), w = 8..1, under a workload of random
+// permutations (the regime where the paper's analysis predicts the
+// relabeling family matches Random's balance while keeping mod-k's
+// concentration). Slowdowns are analytic; seeds parameterize both the
+// permutations and the randomized algorithms.
+func DeepTreeSweep(seeds int, bytes int64) ([]DeepRow, error) {
+	if seeds <= 0 {
+		seeds = 10
+	}
+	if bytes <= 0 {
+		bytes = 64 * 1024
+	}
+	var rows []DeepRow
+	for w := 8; w >= 1; w-- {
+		tp, err := xgft.New(3, []int{8, 8, 8}, []int{1, w, w})
+		if err != nil {
+			return nil, err
+		}
+		row := DeepRow{W: w, Topology: tp.String(), Switches: tp.InnerSwitches()}
+		perms := make([]*pattern.Pattern, seeds)
+		for s := 0; s < seeds; s++ {
+			rng := rand.New(rand.NewSource(int64(s) + 1))
+			perms[s] = pattern.RandomPermutationPattern(tp.Leaves(), bytes, rng)
+		}
+		fixed := func(algo core.Algorithm) (float64, error) {
+			var sum float64
+			for _, p := range perms {
+				s, err := contention.Slowdown(tp, algo, p)
+				if err != nil {
+					return 0, err
+				}
+				sum += s
+			}
+			return sum / float64(len(perms)), nil
+		}
+		if row.SModK, err = fixed(core.NewSModK(tp)); err != nil {
+			return nil, err
+		}
+		if row.DModK, err = fixed(core.NewDModK(tp)); err != nil {
+			return nil, err
+		}
+		sample := func(mk func(seed uint64) core.Algorithm) (stats.Summary, error) {
+			samples := make([]float64, seeds)
+			for s := 0; s < seeds; s++ {
+				v, err := contention.Slowdown(tp, mk(uint64(s)+1), perms[s])
+				if err != nil {
+					return stats.Summary{}, err
+				}
+				samples[s] = v
+			}
+			return stats.Summarize(samples), nil
+		}
+		if row.RNCAUp, err = sample(func(s uint64) core.Algorithm { return core.NewRandomNCAUp(tp, s) }); err != nil {
+			return nil, err
+		}
+		if row.RNCADn, err = sample(func(s uint64) core.Algorithm { return core.NewRandomNCADown(tp, s) }); err != nil {
+			return nil, err
+		}
+		if row.Random, err = sample(func(s uint64) core.Algorithm { return core.NewRandom(tp, s) }); err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// WriteDeepTreeSweep renders the generalization sweep.
+func WriteDeepTreeSweep(w io.Writer, rows []DeepRow) {
+	fmt.Fprintln(w, "Extension — three-level slimmed trees XGFT(3;8,8,8;1,w,w), random permutations")
+	fmt.Fprintf(w, "%3s  %-22s %9s  %8s %8s  %-24s %-24s %-24s\n",
+		"w", "topology", "#switches", "s-mod-k", "d-mod-k", "r-NCA-u [med]", "r-NCA-d [med]", "random [med]")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%3d  %-22s %9d  %8.2f %8.2f  med=%-6.2f (%.2f-%.2f)    med=%-6.2f (%.2f-%.2f)    med=%-6.2f (%.2f-%.2f)\n",
+			r.W, r.Topology, r.Switches, r.SModK, r.DModK,
+			r.RNCAUp.Median, r.RNCAUp.Min, r.RNCAUp.Max,
+			r.RNCADn.Median, r.RNCADn.Min, r.RNCADn.Max,
+			r.Random.Median, r.Random.Min, r.Random.Max)
+	}
+}
+
+// AblationRow compares the balanced relabeling against its unbalanced
+// ablation on one topology.
+type AblationRow struct {
+	Topology string
+	// CensusSpreadBalanced/Unbalanced: mean (max-min) of the
+	// all-pairs NCA census over seeds — Fig. 4b's balance view.
+	CensusSpreadBalanced   float64
+	CensusSpreadUnbalanced float64
+	// CG slowdown medians over seeds.
+	CGBalanced   stats.Summary
+	CGUnbalanced stats.Summary
+}
+
+// BalanceAblation quantifies what the paper's balanced maps buy over
+// naive per-subtree uniform relabeling on the slimmed tree
+// XGFT(2;16,16;1,w2).
+func BalanceAblation(w2, seeds int) (*AblationRow, error) {
+	if seeds <= 0 {
+		seeds = 10
+	}
+	tp, err := xgft.NewSlimmedTree(16, 16, w2)
+	if err != nil {
+		return nil, err
+	}
+	row := &AblationRow{Topology: tp.String()}
+	spread := func(mk func(seed uint64) core.Algorithm) float64 {
+		total := 0
+		for seed := 1; seed <= seeds; seed++ {
+			census := core.AllPairsNCACensus(tp, mk(uint64(seed)))
+			min, max := int(^uint(0)>>1), 0
+			for _, c := range census {
+				if c < min {
+					min = c
+				}
+				if c > max {
+					max = c
+				}
+			}
+			total += max - min
+		}
+		return float64(total) / float64(seeds)
+	}
+	row.CensusSpreadBalanced = spread(func(s uint64) core.Algorithm { return core.NewRandomNCAUp(tp, s) })
+	row.CensusSpreadUnbalanced = spread(func(s uint64) core.Algorithm { return core.NewUnbalancedNCAUp(tp, s) })
+
+	phases := pattern.CGD128Phases()
+	slowdowns := func(mk func(seed uint64) core.Algorithm) (stats.Summary, error) {
+		samples := make([]float64, seeds)
+		for seed := 1; seed <= seeds; seed++ {
+			s, err := contention.PhasedSlowdown(tp, mk(uint64(seed)), phases)
+			if err != nil {
+				return stats.Summary{}, err
+			}
+			samples[seed-1] = s
+		}
+		return stats.Summarize(samples), nil
+	}
+	if row.CGBalanced, err = slowdowns(func(s uint64) core.Algorithm { return core.NewRandomNCAUp(tp, s) }); err != nil {
+		return nil, err
+	}
+	if row.CGUnbalanced, err = slowdowns(func(s uint64) core.Algorithm { return core.NewUnbalancedNCAUp(tp, s) }); err != nil {
+		return nil, err
+	}
+	return row, nil
+}
+
+// WriteBalanceAblation renders the ablation.
+func WriteBalanceAblation(w io.Writer, row *AblationRow) {
+	fmt.Fprintf(w, "Ablation — balanced vs uniform relabeling on %s\n", row.Topology)
+	fmt.Fprintf(w, "all-pairs census spread (max-min per seed, mean): balanced %.0f, unbalanced %.0f\n",
+		row.CensusSpreadBalanced, row.CensusSpreadUnbalanced)
+	fmt.Fprintf(w, "CG.D-128 slowdown: balanced %s\n", row.CGBalanced)
+	fmt.Fprintf(w, "                 unbalanced %s\n", row.CGUnbalanced)
+}

@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestDeepTreeSweepShapes(t *testing.T) {
+	rows, err := DeepTreeSweep(4, 16*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(rows))
+	}
+	full := rows[0] // w = 8: full bisection 8-ary 3-tree
+	if full.Switches != 3*64 {
+		t.Errorf("full tree switches = %d, want 192", full.Switches)
+	}
+	// On random permutations the relabeling family must not be worse
+	// than mod-k (which suffers random collisions with regular digit
+	// assignment just as the relabeled one does, but without the
+	// per-subtree independence).
+	for _, r := range rows {
+		if r.RNCAUp.Median > r.Random.Median*1.5 {
+			t.Errorf("w=%d: r-NCA-u median %.2f far above random %.2f", r.W, r.RNCAUp.Median, r.Random.Median)
+		}
+		if r.SModK < 1 || r.DModK < 1 {
+			t.Errorf("w=%d: slowdowns below 1", r.W)
+		}
+	}
+	// Slimming monotonicity at the extremes.
+	if rows[len(rows)-1].Random.Median <= rows[0].Random.Median {
+		t.Error("slimming to w=1 did not degrade random permutations")
+	}
+}
+
+func TestDeepTreeSweepDefaults(t *testing.T) {
+	rows, err := DeepTreeSweep(0, 0) // defaults kick in
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}
+
+func TestBalanceAblation(t *testing.T) {
+	row, err := BalanceAblation(10, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The design choice the paper argues for must be visible: tighter
+	// census spread for the balanced maps.
+	if row.CensusSpreadUnbalanced <= row.CensusSpreadBalanced {
+		t.Errorf("balanced spread %.0f not tighter than unbalanced %.0f",
+			row.CensusSpreadBalanced, row.CensusSpreadUnbalanced)
+	}
+	// Both avoid the mod-k CG pathology; medians near each other.
+	if row.CGBalanced.Median > 2.2 || row.CGUnbalanced.Median > 2.6 {
+		t.Errorf("relabeling medians %.2f/%.2f hit the pathology", row.CGBalanced.Median, row.CGUnbalanced.Median)
+	}
+}
+
+func TestExtensionRenderers(t *testing.T) {
+	rows, err := DeepTreeSweep(2, 8*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	WriteDeepTreeSweep(&buf, rows)
+	if !strings.Contains(buf.String(), "XGFT(3;8,8,8;1,8,8)") {
+		t.Errorf("sweep output missing topology: %s", buf.String()[:120])
+	}
+	ab, err := BalanceAblation(10, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf.Reset()
+	WriteBalanceAblation(&buf, ab)
+	if !strings.Contains(buf.String(), "balanced") {
+		t.Error("ablation output missing header")
+	}
+}

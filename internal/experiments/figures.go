@@ -1,0 +1,380 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/dimemas"
+	"repro/internal/pattern"
+	"repro/internal/stats"
+	"repro/internal/traces"
+	"repro/internal/venus"
+	"repro/internal/xgft"
+)
+
+// Engine selects how slowdowns are obtained.
+type Engine string
+
+const (
+	// Analytic uses the congestion bound model of
+	// internal/contention: exact, fast, byte-size independent.
+	Analytic Engine = "analytic"
+	// Simulated replays the application trace over the event-driven
+	// network simulator (the paper's methodology).
+	Simulated Engine = "simulated"
+)
+
+// Options parameterizes the sweeps.
+type Options struct {
+	// Engine defaults to Analytic.
+	Engine Engine
+	// Seeds is the number of samples for the randomized schemes
+	// (paper: 40-60 per boxplot). Defaults to 40.
+	Seeds int
+	// MessageBytes scales message sizes for Simulated runs; 0 keeps
+	// the paper's sizes (slow), tests use small values.
+	MessageBytes int64
+	// W2Values lists the slimming sweep; defaults to 16..1.
+	W2Values []int
+	// Parallelism bounds concurrent simulations (default: 4).
+	Parallelism int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Engine == "" {
+		o.Engine = Analytic
+	}
+	if o.Seeds <= 0 {
+		o.Seeds = 40
+	}
+	if len(o.W2Values) == 0 {
+		for w2 := 16; w2 >= 1; w2-- {
+			o.W2Values = append(o.W2Values, w2)
+		}
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = 4
+	}
+	return o
+}
+
+// slowdownOf evaluates one (topology, algorithm) point for an app.
+func slowdownOf(app *App, tp *xgft.Topology, algo core.Algorithm, opt Options) (float64, error) {
+	phases := app.Phases(opt.MessageBytes)
+	switch opt.Engine {
+	case Analytic:
+		return contention.PhasedSlowdown(tp, algo, phases)
+	case Simulated:
+		tr, err := traces.FromPhases(app.Ranks, phases, 1, 0)
+		if err != nil {
+			return 0, err
+		}
+		return dimemas.MeasuredSlowdown(tr, tp, algo, dimemas.Config{Net: venus.DefaultConfig()})
+	default:
+		return 0, fmt.Errorf("experiments: unknown engine %q", opt.Engine)
+	}
+}
+
+// Fig2Row is one x-position of Fig. 2: the slowdown of each fixed
+// algorithm on XGFT(2;16,16;1,W2), with Random represented by the
+// median over seeds (the paper plots one static table).
+type Fig2Row struct {
+	W2       int
+	Random   float64
+	SModK    float64
+	DModK    float64
+	Colored  float64
+	Crossbar float64 // always 1 by construction; kept for the figure
+}
+
+// Figure2 reproduces Fig. 2a (WRF-256) or Fig. 2b (CG.D-128):
+// progressive tree slimming of the 16-ary 2-tree under the three
+// classic oblivious routings and the pattern-aware bound.
+func Figure2(app *App, opt Options) ([]Fig2Row, error) {
+	opt = opt.withDefaults()
+	rows := make([]Fig2Row, len(opt.W2Values))
+	err := forEach(len(opt.W2Values), opt.Parallelism, func(i int) error {
+		w2 := opt.W2Values[i]
+		tp, err := xgft.NewSlimmedTree(16, 16, w2)
+		if err != nil {
+			return err
+		}
+		row := Fig2Row{W2: w2, Crossbar: 1}
+		if row.SModK, err = slowdownOf(app, tp, core.NewSModK(tp), opt); err != nil {
+			return err
+		}
+		if row.DModK, err = slowdownOf(app, tp, core.NewDModK(tp), opt); err != nil {
+			return err
+		}
+		col := core.NewColored(tp, app.Phases(opt.MessageBytes), core.ColoredConfig{})
+		if row.Colored, err = slowdownOf(app, tp, col, opt); err != nil {
+			return err
+		}
+		// Median random table over a few seeds.
+		samples := make([]float64, 0, opt.Seeds)
+		for seed := 0; seed < opt.Seeds; seed++ {
+			s, err := slowdownOf(app, tp, core.NewRandom(tp, uint64(seed)+1), opt)
+			if err != nil {
+				return err
+			}
+			samples = append(samples, s)
+		}
+		row.Random = stats.Summarize(samples).Median
+		rows[i] = row
+		return nil
+	})
+	return rows, err
+}
+
+// Fig5Row is one x-position of Fig. 5: fixed curves for
+// S-mod-k/D-mod-k/Colored plus seed boxplots for the randomized
+// schemes.
+type Fig5Row struct {
+	W2      int
+	SModK   float64
+	DModK   float64
+	Colored float64
+	RNCAUp  stats.Summary
+	RNCADn  stats.Summary
+	Random  stats.Summary
+}
+
+// Figure5 reproduces Fig. 5a/5b: the proposed r-NCA-u and r-NCA-d
+// schemes against Random (boxplots over seeds) and the fixed
+// baselines, under progressive slimming.
+func Figure5(app *App, opt Options) ([]Fig5Row, error) {
+	opt = opt.withDefaults()
+	rows := make([]Fig5Row, len(opt.W2Values))
+	err := forEach(len(opt.W2Values), opt.Parallelism, func(i int) error {
+		w2 := opt.W2Values[i]
+		tp, err := xgft.NewSlimmedTree(16, 16, w2)
+		if err != nil {
+			return err
+		}
+		row := Fig5Row{W2: w2}
+		if row.SModK, err = slowdownOf(app, tp, core.NewSModK(tp), opt); err != nil {
+			return err
+		}
+		if row.DModK, err = slowdownOf(app, tp, core.NewDModK(tp), opt); err != nil {
+			return err
+		}
+		col := core.NewColored(tp, app.Phases(opt.MessageBytes), core.ColoredConfig{})
+		if row.Colored, err = slowdownOf(app, tp, col, opt); err != nil {
+			return err
+		}
+		sample := func(mk func(seed uint64) core.Algorithm) (stats.Summary, error) {
+			samples := make([]float64, opt.Seeds)
+			for seed := 0; seed < opt.Seeds; seed++ {
+				s, err := slowdownOf(app, tp, mk(uint64(seed)+1), opt)
+				if err != nil {
+					return stats.Summary{}, err
+				}
+				samples[seed] = s
+			}
+			return stats.Summarize(samples), nil
+		}
+		if row.RNCAUp, err = sample(func(s uint64) core.Algorithm { return core.NewRandomNCAUp(tp, s) }); err != nil {
+			return err
+		}
+		if row.RNCADn, err = sample(func(s uint64) core.Algorithm { return core.NewRandomNCADown(tp, s) }); err != nil {
+			return err
+		}
+		if row.Random, err = sample(func(s uint64) core.Algorithm { return core.NewRandom(tp, s) }); err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	})
+	return rows, err
+}
+
+// Fig4Result holds the routes-per-NCA census of one topology:
+// deterministic vectors for the mod-k schemes and per-NCA boxplots
+// over seeds for the randomized ones.
+type Fig4Result struct {
+	Topology string
+	Roots    int
+	SModK    []int
+	DModK    []int
+	Random   []stats.Summary
+	RNCAUp   []stats.Summary
+	RNCADn   []stats.Summary
+}
+
+// Figure4 reproduces Fig. 4a (w2=16) / 4b (w2=10): the distribution
+// of all-pairs route assignments over the roots.
+func Figure4(w2, seeds int) (*Fig4Result, error) {
+	tp, err := xgft.NewSlimmedTree(16, 16, w2)
+	if err != nil {
+		return nil, err
+	}
+	if seeds <= 0 {
+		seeds = 40
+	}
+	res := &Fig4Result{
+		Topology: tp.String(),
+		Roots:    tp.NodesAt(2),
+		SModK:    core.AllPairsNCACensus(tp, core.NewSModK(tp)),
+		DModK:    core.AllPairsNCACensus(tp, core.NewDModK(tp)),
+	}
+	sample := func(mk func(seed uint64) core.Algorithm) []stats.Summary {
+		perRoot := make([][]float64, res.Roots)
+		for seed := 0; seed < seeds; seed++ {
+			census := core.AllPairsNCACensus(tp, mk(uint64(seed)+1))
+			for root, c := range census {
+				perRoot[root] = append(perRoot[root], float64(c))
+			}
+		}
+		out := make([]stats.Summary, res.Roots)
+		for root := range out {
+			out[root] = stats.Summarize(perRoot[root])
+		}
+		return out
+	}
+	res.Random = sample(func(s uint64) core.Algorithm { return core.NewRandom(tp, s) })
+	res.RNCAUp = sample(func(s uint64) core.Algorithm { return core.NewRandomNCAUp(tp, s) })
+	res.RNCADn = sample(func(s uint64) core.Algorithm { return core.NewRandomNCADown(tp, s) })
+	return res, nil
+}
+
+// Fig3Result decomposes CG.D-128: its aggregate connectivity matrix
+// and the per-phase slowdown of D-mod-k on the full 16-ary 2-tree
+// (the paper's "fifth phase takes ~8x longer" analysis; here 7x — see
+// EXPERIMENTS.md X1).
+type Fig3Result struct {
+	Matrix      [][]int64
+	PhaseNet    []int64 // per-phase completion bound, bytes
+	PhaseXbar   []int64 // per-phase crossbar bound, bytes
+	PhaseFactor []float64
+}
+
+// Figure3 reproduces Fig. 3.
+func Figure3() (*Fig3Result, error) {
+	tp, err := xgft.NewSlimmedTree(16, 16, 16)
+	if err != nil {
+		return nil, err
+	}
+	phases := pattern.CGD128Phases()
+	all, err := pattern.Union(phases...)
+	if err != nil {
+		return nil, err
+	}
+	net, xbar, err := contention.PhaseBounds(tp, core.NewDModK(tp), phases)
+	if err != nil {
+		return nil, err
+	}
+	res := &Fig3Result{
+		Matrix:    all.ConnectivityMatrix(),
+		PhaseNet:  net,
+		PhaseXbar: xbar,
+	}
+	res.PhaseFactor = make([]float64, len(net))
+	for i := range net {
+		if xbar[i] > 0 {
+			res.PhaseFactor[i] = float64(net[i]) / float64(xbar[i])
+		}
+	}
+	return res, nil
+}
+
+// Table1Row describes one level of an XGFT the way the paper's
+// Table I does.
+type Table1Row struct {
+	Level      int
+	Nodes      int
+	LabelForm  string
+	UpLinks    int
+	DownLinks  int
+	ExampleLab string
+}
+
+// Table1 renders the label schema of a topology.
+func Table1(tp *xgft.Topology) []Table1Row {
+	h := tp.Height()
+	rows := make([]Table1Row, h+1)
+	for l := 0; l <= h; l++ {
+		form := "<"
+		for j := h - 1; j >= 0; j-- {
+			if j < h-1 {
+				form += ","
+			}
+			if j < l {
+				form += fmt.Sprintf("W%d", j+1)
+			} else {
+				form += fmt.Sprintf("M%d", j+1)
+			}
+		}
+		form += ">"
+		up := 0
+		if l < h {
+			up = tp.ChannelsAt(l)
+		}
+		down := 0
+		if l > 0 {
+			down = tp.ChannelsAt(l - 1)
+		}
+		example := ""
+		if tp.NodesAt(l) > 1 {
+			example = tp.FormatLabel(l, tp.NodesAt(l)-1)
+		} else {
+			example = tp.FormatLabel(l, 0)
+		}
+		rows[l] = Table1Row{
+			Level:      l,
+			Nodes:      tp.NodesAt(l),
+			LabelForm:  form,
+			UpLinks:    up,
+			DownLinks:  down,
+			ExampleLab: example,
+		}
+	}
+	return rows
+}
+
+// forEach runs fn(0..n-1) over a bounded worker pool, collecting the
+// first error.
+func forEach(n, workers int, fn func(i int) error) error {
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs []error
+	)
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := fn(i); err != nil {
+					mu.Lock()
+					errs = append(errs, err)
+					mu.Unlock()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	if len(errs) > 0 {
+		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
+		return errs[0]
+	}
+	return nil
+}

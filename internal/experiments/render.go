@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/xgft"
+)
+
+// WriteFigure2 renders Fig. 2 rows as an aligned text table.
+func WriteFigure2(w io.Writer, app *App, rows []Fig2Row) {
+	fmt.Fprintf(w, "Figure 2 — %s, progressive tree-slimming of XGFT(2;16,16;1,w2)\n", app.Name)
+	fmt.Fprintf(w, "Slowdown vs Full-Crossbar (1.00)\n")
+	fmt.Fprintf(w, "%4s  %8s  %8s  %8s  %8s  %8s\n", "w2", "crossbar", "random", "s-mod-k", "d-mod-k", "colored")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%4d  %8.2f  %8.2f  %8.2f  %8.2f  %8.2f\n",
+			r.W2, r.Crossbar, r.Random, r.SModK, r.DModK, r.Colored)
+	}
+}
+
+// WriteFigure2CSV renders Fig. 2 rows as CSV.
+func WriteFigure2CSV(w io.Writer, rows []Fig2Row) {
+	fmt.Fprintln(w, "w2,crossbar,random,s_mod_k,d_mod_k,colored")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d,%.4f,%.4f,%.4f,%.4f,%.4f\n", r.W2, r.Crossbar, r.Random, r.SModK, r.DModK, r.Colored)
+	}
+}
+
+// WriteFigure5 renders Fig. 5 rows: fixed curves plus boxplot
+// five-number summaries.
+func WriteFigure5(w io.Writer, app *App, rows []Fig5Row) {
+	fmt.Fprintf(w, "Figure 5 — %s, oblivious routing schemes (boxplots over seeds)\n", app.Name)
+	fmt.Fprintf(w, "%4s  %8s %8s %8s  %-44s %-44s %-44s\n",
+		"w2", "s-mod-k", "d-mod-k", "colored", "r-NCA-u [min q1 med q3 max]", "r-NCA-d [min q1 med q3 max]", "random [min q1 med q3 max]")
+	box := func(s fmt.Stringer) string { return s.String() }
+	for _, r := range rows {
+		fmt.Fprintf(w, "%4d  %8.2f %8.2f %8.2f  %-44s %-44s %-44s\n",
+			r.W2, r.SModK, r.DModK, r.Colored, box(r.RNCAUp), box(r.RNCADn), box(r.Random))
+	}
+}
+
+// WriteFigure5CSV renders Fig. 5 rows as CSV.
+func WriteFigure5CSV(w io.Writer, rows []Fig5Row) {
+	fmt.Fprintln(w, "w2,s_mod_k,d_mod_k,colored,"+
+		"rncau_min,rncau_q1,rncau_med,rncau_q3,rncau_max,"+
+		"rncad_min,rncad_q1,rncad_med,rncad_q3,rncad_max,"+
+		"random_min,random_q1,random_med,random_q3,random_max")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%d,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f,%.4f\n",
+			r.W2, r.SModK, r.DModK, r.Colored,
+			r.RNCAUp.Min, r.RNCAUp.Q1, r.RNCAUp.Median, r.RNCAUp.Q3, r.RNCAUp.Max,
+			r.RNCADn.Min, r.RNCADn.Q1, r.RNCADn.Median, r.RNCADn.Q3, r.RNCADn.Max,
+			r.Random.Min, r.Random.Q1, r.Random.Median, r.Random.Q3, r.Random.Max)
+	}
+}
+
+// WriteFigure4 renders a routes-per-NCA census.
+func WriteFigure4(w io.Writer, res *Fig4Result) {
+	fmt.Fprintf(w, "Figure 4 — routes assigned per NCA, %s (%d roots)\n", res.Topology, res.Roots)
+	fmt.Fprintf(w, "%4s  %8s  %8s  %-40s %-40s %-40s\n", "NCA", "s-mod-k", "d-mod-k", "random [min med max]", "r-NCA-u [min med max]", "r-NCA-d [min med max]")
+	for root := 0; root < res.Roots; root++ {
+		fmt.Fprintf(w, "%4d  %8d  %8d  min=%5.0f med=%7.1f max=%5.0f   min=%5.0f med=%7.1f max=%5.0f   min=%5.0f med=%7.1f max=%5.0f\n",
+			root, res.SModK[root], res.DModK[root],
+			res.Random[root].Min, res.Random[root].Median, res.Random[root].Max,
+			res.RNCAUp[root].Min, res.RNCAUp[root].Median, res.RNCAUp[root].Max,
+			res.RNCADn[root].Min, res.RNCADn[root].Median, res.RNCADn[root].Max)
+	}
+}
+
+// WriteFigure3 renders the CG.D-128 decomposition: per-phase factors
+// and a coarse view of the aggregate connectivity matrix.
+func WriteFigure3(w io.Writer, res *Fig3Result) {
+	fmt.Fprintln(w, "Figure 3 — CG.D-128 traffic pattern")
+	fmt.Fprintln(w, "Per-phase completion bound under d-mod-k on XGFT(2;16,16;1,16):")
+	for i := range res.PhaseNet {
+		local := "switch-local"
+		if res.PhaseFactor[i] > 1 {
+			local = "inter-switch"
+		}
+		fmt.Fprintf(w, "  phase %d: %10d bytes (crossbar %10d), factor %.2f  [%s]\n",
+			i+1, res.PhaseNet[i], res.PhaseXbar[i], res.PhaseFactor[i], local)
+	}
+	fmt.Fprintln(w, "Aggregate connectivity matrix (16x16 rank blocks, '#' = traffic):")
+	n := len(res.Matrix)
+	const block = 8
+	for bs := 0; bs < n; bs += block {
+		for bd := 0; bd < n; bd += block {
+			has := false
+			for s := bs; s < bs+block && s < n; s++ {
+				for d := bd; d < bd+block && d < n; d++ {
+					if res.Matrix[s][d] > 0 && s != d {
+						has = true
+					}
+				}
+			}
+			if has {
+				fmt.Fprint(w, "#")
+			} else {
+				fmt.Fprint(w, ".")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// WriteTable1 renders the Table I schema of a topology.
+func WriteTable1(w io.Writer, tp *xgft.Topology, rows []Table1Row) {
+	fmt.Fprintf(w, "Table I — node and link labels of %s\n", tp.String())
+	fmt.Fprintf(w, "%5s  %8s  %-28s  %10s  %10s  %-16s\n", "level", "#nodes", "label form", "#links up", "#links dn", "last label")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%5d  %8d  %-28s  %10d  %10d  %-16s\n",
+			r.Level, r.Nodes, r.LabelForm, r.UpLinks, r.DownLinks, r.ExampleLab)
+	}
+	fmt.Fprintf(w, "inner switches (Eq. 1): %d\n", tp.InnerSwitches())
+}

@@ -1,0 +1,284 @@
+package pattern
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWRF256Shape(t *testing.T) {
+	p := WRF256()
+	if p.N != 256 {
+		t.Fatalf("N = %d", p.N)
+	}
+	// Paper: every task exchanges with T_{i±16}; first and last 16
+	// tasks have a single partner. Flows: 2*256 - 2*16 = 480.
+	if len(p.Flows) != 480 {
+		t.Errorf("flows = %d, want 480", len(p.Flows))
+	}
+	out := p.OutDegree()
+	for i, d := range out {
+		want := 2
+		if i < 16 || i >= 240 {
+			want = 1
+		}
+		if d != want {
+			t.Errorf("task %d out degree = %d, want %d", i, d, want)
+		}
+	}
+	// Symmetric pattern: its inverse has the same connectivity matrix.
+	m := p.ConnectivityMatrix()
+	mi := p.Inverse().ConnectivityMatrix()
+	for s := range m {
+		for d := range m[s] {
+			if m[s][d] != mi[s][d] {
+				t.Fatalf("WRF not symmetric at (%d,%d)", s, d)
+			}
+		}
+	}
+}
+
+func TestCGPhasesStructure(t *testing.T) {
+	phases, err := CGPhases(128, DefaultCGPhaseBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper: five exchanges of equal size, four local to the
+	// first-level 16-port switch.
+	if len(phases) != 5 {
+		t.Fatalf("phases = %d, want 5", len(phases))
+	}
+	for i, ph := range phases[:4] {
+		for _, f := range ph.Flows {
+			if f.Src/16 != f.Dst/16 {
+				t.Errorf("phase %d flow %d->%d leaves the switch", i, f.Src, f.Dst)
+			}
+		}
+	}
+	nonLocal := 0
+	for _, f := range phases[4].Flows {
+		if f.Src/16 != f.Dst/16 {
+			nonLocal++
+		}
+	}
+	if nonLocal == 0 {
+		t.Error("fifth phase has no inter-switch traffic")
+	}
+}
+
+func TestCGEquation2(t *testing.T) {
+	// Paper Eq. (2): within switch 0, d = s/2*16 + (s mod 2).
+	ph, err := CGTransposePhase(128, DefaultCGPhaseBytes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make(map[int]int)
+	for _, f := range ph.Flows {
+		dst[f.Src] = f.Dst
+	}
+	for s := 0; s < 16; s++ {
+		want := s/2*16 + s%2
+		if dst[s] != want {
+			t.Errorf("Eq.(2): d(%d) = %d, want %d", s, dst[s], want)
+		}
+	}
+	// The phase is a permutation overall (self-flows allowed as
+	// fixed points that carry no traffic).
+	seen := make(map[int]bool)
+	for _, f := range ph.Flows {
+		if seen[f.Dst] {
+			t.Fatalf("destination %d repeated", f.Dst)
+		}
+		seen[f.Dst] = true
+	}
+	if len(seen) != 128 {
+		t.Fatalf("transpose covers %d destinations, want 128", len(seen))
+	}
+	// D-mod-k pathology precondition: within every switch, d mod 16
+	// takes exactly two values (2b and 2b+1 for switch b).
+	for b := 0; b < 8; b++ {
+		vals := make(map[int]bool)
+		for s := 16 * b; s < 16*(b+1); s++ {
+			vals[dst[s]%16] = true
+		}
+		if len(vals) != 2 {
+			t.Errorf("switch %d uses %d distinct d mod 16 values, want 2", b, len(vals))
+		}
+		if !vals[2*b] || !vals[2*b+1] {
+			t.Errorf("switch %d d mod 16 values %v, want {%d,%d}", b, vals, 2*b, 2*b+1)
+		}
+	}
+}
+
+func TestCGSquareGrid(t *testing.T) {
+	// 64 procs: nprows = npcols = 8, transpose is the plain 8x8 one.
+	phases, err := CGPhases(64, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 4 { // 3 butterfly stages + transpose
+		t.Fatalf("phases = %d, want 4", len(phases))
+	}
+	last := phases[len(phases)-1]
+	for _, f := range last.Flows {
+		want := (f.Src%8)*8 + f.Src/8
+		if f.Dst != want {
+			t.Errorf("transpose(%d) = %d, want %d", f.Src, f.Dst, want)
+		}
+	}
+}
+
+func TestCGErrors(t *testing.T) {
+	for _, n := range []int{0, 2, 3, 100} {
+		if _, err := CGPhases(n, 1); err == nil {
+			t.Errorf("CGPhases(%d) accepted", n)
+		}
+	}
+}
+
+func TestShift(t *testing.T) {
+	p := Shift(8, 3, 10)
+	for _, f := range p.Flows {
+		if f.Dst != (f.Src+3)%8 {
+			t.Errorf("shift flow %d->%d", f.Src, f.Dst)
+		}
+	}
+	if !p.IsPermutation() {
+		t.Error("shift is not a permutation")
+	}
+	neg := Shift(8, -3, 10)
+	for _, f := range neg.Flows {
+		if f.Dst != (f.Src+5)%8 {
+			t.Errorf("negative shift flow %d->%d", f.Src, f.Dst)
+		}
+	}
+	zero := Shift(8, 0, 10)
+	if len(zero.Flows) != 0 {
+		t.Error("zero shift produced flows")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	p := Transpose(4, 4, 10)
+	if !p.IsPermutation() {
+		t.Error("transpose not a permutation")
+	}
+	// (1,2) -> rank 6 maps to (2,1) -> rank 9.
+	found := false
+	for _, f := range p.Flows {
+		if f.Src == 6 {
+			found = true
+			if f.Dst != 9 {
+				t.Errorf("transpose(6) = %d, want 9", f.Dst)
+			}
+		}
+	}
+	if !found {
+		t.Error("rank 6 silent in transpose")
+	}
+}
+
+func TestBitReversal(t *testing.T) {
+	p, err := BitReversal(8, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[int]int{1: 4, 4: 1, 3: 6, 6: 3}
+	for _, f := range p.Flows {
+		if w, ok := want[f.Src]; ok && f.Dst != w {
+			t.Errorf("reverse(%d) = %d, want %d", f.Src, f.Dst, w)
+		}
+	}
+	if _, err := BitReversal(6, 10); err == nil {
+		t.Error("non power of two accepted")
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	p, err := BitComplement(16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.IsPermutation() {
+		t.Error("bit complement not a permutation")
+	}
+	for _, f := range p.Flows {
+		if f.Dst != 15-f.Src {
+			t.Errorf("complement(%d) = %d", f.Src, f.Dst)
+		}
+	}
+	if _, err := BitComplement(10, 1); err == nil {
+		t.Error("non power of two accepted")
+	}
+}
+
+func TestTornado(t *testing.T) {
+	p := Tornado(8, 10)
+	for _, f := range p.Flows {
+		if f.Dst != (f.Src+3)%8 {
+			t.Errorf("tornado flow %d->%d", f.Src, f.Dst)
+		}
+	}
+}
+
+func TestButterfly(t *testing.T) {
+	p, err := Butterfly(8, 1, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range p.Flows {
+		if f.Dst != f.Src^2 {
+			t.Errorf("butterfly flow %d->%d", f.Src, f.Dst)
+		}
+	}
+	if _, err := Butterfly(8, 3, 10); err == nil {
+		t.Error("stage out of range accepted")
+	}
+	if _, err := Butterfly(7, 0, 10); err == nil {
+		t.Error("non power of two accepted")
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	p := AllToAll(5, 10)
+	if len(p.Flows) != 20 {
+		t.Errorf("flows = %d, want 20", len(p.Flows))
+	}
+	out := p.OutDegree()
+	in := p.InDegree()
+	for i := 0; i < 5; i++ {
+		if out[i] != 4 || in[i] != 4 {
+			t.Errorf("node %d degrees out=%d in=%d", i, out[i], in[i])
+		}
+	}
+}
+
+func TestUniformRandomNoSelfFlows(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	p := UniformRandom(32, 4, 10, rng)
+	if len(p.Flows) != 128 {
+		t.Errorf("flows = %d, want 128", len(p.Flows))
+	}
+	for _, f := range p.Flows {
+		if f.Src == f.Dst {
+			t.Errorf("self flow %d", f.Src)
+		}
+	}
+}
+
+func TestRandomPermutationPattern(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	p := RandomPermutationPattern(64, 10, rng)
+	if !p.IsPermutation() {
+		t.Error("random permutation pattern is not a permutation")
+	}
+}
+
+func TestRandomDerangementLike(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 20; trial++ {
+		p := RandomDerangementLike(32, rng)
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,167 @@
+package pattern
+
+import "fmt"
+
+// Additional HPC communication structures beyond the paper's two
+// applications: the halo exchanges, spectral transposes and
+// collectives that dominate the workload studies the paper cites
+// (Kamil et al., Desai et al.) on network over-provisioning.
+
+// Halo2D builds the full 4-neighbour (von Neumann) halo exchange on a
+// rows x cols grid. periodic selects torus wrap-around.
+func Halo2D(rows, cols int, bytes int64, periodic bool) (*Pattern, error) {
+	if rows < 1 || cols < 1 {
+		return nil, fmt.Errorf("pattern: halo2d grid %dx%d invalid", rows, cols)
+	}
+	n := rows * cols
+	p := New(n)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			src := r*cols + c
+			add := func(nr, nc int) {
+				if periodic {
+					nr = (nr + rows) % rows
+					nc = (nc + cols) % cols
+				} else if nr < 0 || nr >= rows || nc < 0 || nc >= cols {
+					return
+				}
+				dst := nr*cols + nc
+				if dst != src {
+					p.Add(src, dst, bytes)
+				}
+			}
+			add(r-1, c)
+			add(r+1, c)
+			add(r, c-1)
+			add(r, c+1)
+		}
+	}
+	return p, nil
+}
+
+// Halo3D builds the 6-neighbour halo exchange on an x*y*z grid.
+func Halo3D(x, y, z int, bytes int64, periodic bool) (*Pattern, error) {
+	if x < 1 || y < 1 || z < 1 {
+		return nil, fmt.Errorf("pattern: halo3d grid %dx%dx%d invalid", x, y, z)
+	}
+	n := x * y * z
+	p := New(n)
+	idx := func(i, j, k int) int { return (i*y+j)*z + k }
+	for i := 0; i < x; i++ {
+		for j := 0; j < y; j++ {
+			for k := 0; k < z; k++ {
+				src := idx(i, j, k)
+				add := func(ni, nj, nk int) {
+					if periodic {
+						ni, nj, nk = (ni+x)%x, (nj+y)%y, (nk+z)%z
+					} else if ni < 0 || ni >= x || nj < 0 || nj >= y || nk < 0 || nk >= z {
+						return
+					}
+					dst := idx(ni, nj, nk)
+					if dst != src {
+						p.Add(src, dst, bytes)
+					}
+				}
+				add(i-1, j, k)
+				add(i+1, j, k)
+				add(i, j-1, k)
+				add(i, j+1, k)
+				add(i, j, k-1)
+				add(i, j, k+1)
+			}
+		}
+	}
+	return p, nil
+}
+
+// FFTPhases builds the log2(n) butterfly exchange phases of a
+// distributed radix-2 FFT: phase k exchanges with partner XOR 2^k.
+func FFTPhases(n int, bytes int64) ([]*Pattern, error) {
+	if n < 2 || n&(n-1) != 0 {
+		return nil, fmt.Errorf("pattern: FFT needs a power of two, got %d", n)
+	}
+	var phases []*Pattern
+	for dist := 1; dist < n; dist <<= 1 {
+		ph := New(n)
+		for i := 0; i < n; i++ {
+			ph.Add(i, i^dist, bytes)
+		}
+		phases = append(phases, ph)
+	}
+	return phases, nil
+}
+
+// HotSpot sends from every node to a single hot destination plus a
+// background random permutation — the classic adversarial mix for
+// adaptive-vs-oblivious studies. frac in (0,1] selects the share of
+// nodes hitting the hot spot.
+func HotSpot(n, hot int, frac float64, bytes int64) (*Pattern, error) {
+	if hot < 0 || hot >= n {
+		return nil, fmt.Errorf("pattern: hot node %d out of range", hot)
+	}
+	if frac <= 0 || frac > 1 {
+		return nil, fmt.Errorf("pattern: hot fraction %f out of (0,1]", frac)
+	}
+	p := New(n)
+	stride := int(1 / frac)
+	if stride < 1 {
+		stride = 1
+	}
+	for s := 0; s < n; s += stride {
+		if s != hot {
+			p.Add(s, hot, bytes)
+		}
+	}
+	return p, nil
+}
+
+// Gather sends from every node to a single root (MPI_Gather's
+// network traffic).
+func Gather(n, root int, bytes int64) (*Pattern, error) {
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("pattern: gather root %d out of range", root)
+	}
+	p := New(n)
+	for s := 0; s < n; s++ {
+		if s != root {
+			p.Add(s, root, bytes)
+		}
+	}
+	return p, nil
+}
+
+// Scatter sends from a single root to every other node.
+func Scatter(n, root int, bytes int64) (*Pattern, error) {
+	if root < 0 || root >= n {
+		return nil, fmt.Errorf("pattern: scatter root %d out of range", root)
+	}
+	p := New(n)
+	for d := 0; d < n; d++ {
+		if d != root {
+			p.Add(root, d, bytes)
+		}
+	}
+	return p, nil
+}
+
+// Ring builds the nearest-neighbour ring exchange: i sends to both
+// (i+1) mod n and (i-1) mod n.
+func Ring(n int, bytes int64) *Pattern {
+	p := New(n)
+	for i := 0; i < n; i++ {
+		p.Add(i, (i+1)%n, bytes)
+		p.Add(i, (i-1+n)%n, bytes)
+	}
+	return p
+}
+
+// AllToAllPhases decomposes the complete exchange into n-1 shift
+// permutation phases (the classic linear-exchange schedule): phase k
+// is i -> (i+k) mod n.
+func AllToAllPhases(n int, bytes int64) []*Pattern {
+	phases := make([]*Pattern, 0, n-1)
+	for k := 1; k < n; k++ {
+		phases = append(phases, Shift(n, k, bytes))
+	}
+	return phases
+}

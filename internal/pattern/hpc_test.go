@@ -1,0 +1,196 @@
+package pattern
+
+import "testing"
+
+func TestHalo2DInterior(t *testing.T) {
+	p, err := Halo2D(4, 4, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.OutDegree()
+	// Corner nodes have 2 neighbours, edges 3, interior 4.
+	if out[0] != 2 {
+		t.Errorf("corner degree = %d, want 2", out[0])
+	}
+	if out[1] != 3 {
+		t.Errorf("edge degree = %d, want 3", out[1])
+	}
+	if out[5] != 4 {
+		t.Errorf("interior degree = %d, want 4", out[5])
+	}
+	// Symmetric pattern.
+	m := p.ConnectivityMatrix()
+	for s := range m {
+		for d := range m[s] {
+			if m[s][d] != m[d][s] {
+				t.Fatalf("halo not symmetric at (%d,%d)", s, d)
+			}
+		}
+	}
+}
+
+func TestHalo2DPeriodic(t *testing.T) {
+	p, err := Halo2D(4, 4, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range p.OutDegree() {
+		if d != 4 {
+			t.Fatalf("periodic degree = %d, want 4", d)
+		}
+	}
+	if _, err := Halo2D(0, 4, 1, false); err == nil {
+		t.Error("empty grid accepted")
+	}
+}
+
+func TestHalo2DDegenerate(t *testing.T) {
+	// A 1x2 periodic grid: wraparound collapses onto the single
+	// neighbour; no self flows allowed.
+	p, err := Halo2D(1, 2, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range p.Flows {
+		if f.Src == f.Dst {
+			t.Errorf("self flow %d", f.Src)
+		}
+	}
+}
+
+func TestHalo3D(t *testing.T) {
+	p, err := Halo3D(3, 3, 3, 100, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.OutDegree()
+	center := (1*3+1)*3 + 1
+	if out[center] != 6 {
+		t.Errorf("center degree = %d, want 6", out[center])
+	}
+	if out[0] != 3 {
+		t.Errorf("corner degree = %d, want 3", out[0])
+	}
+	periodic, err := Halo3D(3, 3, 3, 100, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range periodic.OutDegree() {
+		if d != 6 {
+			t.Fatalf("periodic degree = %d, want 6", d)
+		}
+	}
+	if _, err := Halo3D(3, 0, 3, 1, false); err == nil {
+		t.Error("empty grid accepted")
+	}
+}
+
+func TestFFTPhases(t *testing.T) {
+	phases, err := FFTPhases(16, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 4 {
+		t.Fatalf("phases = %d, want 4", len(phases))
+	}
+	for k, ph := range phases {
+		if !ph.IsPermutation() {
+			t.Errorf("phase %d not a permutation", k)
+		}
+		for _, f := range ph.Flows {
+			if f.Dst != f.Src^(1<<k) {
+				t.Errorf("phase %d flow %d->%d", k, f.Src, f.Dst)
+			}
+		}
+	}
+	if _, err := FFTPhases(12, 1); err == nil {
+		t.Error("non power of two accepted")
+	}
+}
+
+func TestHotSpot(t *testing.T) {
+	p, err := HotSpot(64, 5, 0.25, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := p.InDegree()
+	for d, c := range in {
+		if d == 5 {
+			if c < 10 {
+				t.Errorf("hot node got %d flows", c)
+			}
+		} else if c != 0 {
+			t.Errorf("cold node %d got %d flows", d, c)
+		}
+	}
+	if _, err := HotSpot(64, 99, 0.5, 1); err == nil {
+		t.Error("bad hot node accepted")
+	}
+	if _, err := HotSpot(64, 0, 0, 1); err == nil {
+		t.Error("zero fraction accepted")
+	}
+}
+
+func TestGatherScatterAreInverses(t *testing.T) {
+	g, err := Gather(32, 7, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := Scatter(32, 7, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gi := g.Inverse().ConnectivityMatrix()
+	sm := s.ConnectivityMatrix()
+	for i := range gi {
+		for j := range gi[i] {
+			if gi[i][j] != sm[i][j] {
+				t.Fatalf("gather^-1 != scatter at (%d,%d)", i, j)
+			}
+		}
+	}
+	if _, err := Gather(32, -1, 1); err == nil {
+		t.Error("bad gather root accepted")
+	}
+	if _, err := Scatter(32, 32, 1); err == nil {
+		t.Error("bad scatter root accepted")
+	}
+}
+
+func TestRing(t *testing.T) {
+	p := Ring(8, 100)
+	for _, d := range p.OutDegree() {
+		if d != 2 {
+			t.Fatalf("ring degree = %d", d)
+		}
+	}
+	if len(p.Flows) != 16 {
+		t.Errorf("flows = %d", len(p.Flows))
+	}
+}
+
+func TestAllToAllPhases(t *testing.T) {
+	phases := AllToAllPhases(8, 10)
+	if len(phases) != 7 {
+		t.Fatalf("phases = %d, want 7", len(phases))
+	}
+	union, err := Union(phases...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := AllToAll(8, 10)
+	um := union.ConnectivityMatrix()
+	wm := want.ConnectivityMatrix()
+	for i := range um {
+		for j := range um[i] {
+			if um[i][j] != wm[i][j] {
+				t.Fatalf("union of phases != all-to-all at (%d,%d)", i, j)
+			}
+		}
+	}
+	for _, ph := range phases {
+		if !ph.IsPermutation() {
+			t.Error("phase is not a permutation")
+		}
+	}
+}

@@ -1,0 +1,103 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummarizeKnownValues(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if s.Q1 != 2 || s.Q3 != 4 {
+		t.Errorf("quartiles = %.2f/%.2f, want 2/4", s.Q1, s.Q3)
+	}
+	if s.Mean != 3 {
+		t.Errorf("mean = %.2f", s.Mean)
+	}
+	if math.Abs(s.StdDev-math.Sqrt(2)) > 1e-9 {
+		t.Errorf("stddev = %.4f, want sqrt(2)", s.StdDev)
+	}
+	if s.IQR() != 2 {
+		t.Errorf("IQR = %.2f", s.IQR())
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{7})
+	if s.Min != 7 || s.Max != 7 || s.Median != 7 || s.Q1 != 7 || s.Q3 != 7 || s.StdDev != 0 {
+		t.Errorf("single-sample summary = %+v", s)
+	}
+}
+
+func TestSummarizeConstant(t *testing.T) {
+	s := Summarize([]float64{2.5, 2.5, 2.5, 2.5})
+	if s.StdDev != 0 {
+		t.Errorf("constant samples have stddev %.9f", s.StdDev)
+	}
+}
+
+func TestSummarizeInterpolation(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4})
+	if math.Abs(s.Median-2.5) > 1e-12 {
+		t.Errorf("even-count median = %.3f, want 2.5", s.Median)
+	}
+	if math.Abs(s.Q1-1.75) > 1e-12 || math.Abs(s.Q3-3.25) > 1e-12 {
+		t.Errorf("quartiles = %.3f/%.3f, want 1.75/3.25", s.Q1, s.Q3)
+	}
+}
+
+func TestSummarizeUnsortedInputUnchanged(t *testing.T) {
+	in := []float64{5, 1, 4, 2, 3}
+	Summarize(in)
+	if in[0] != 5 || in[4] != 3 {
+		t.Error("Summarize mutated its input")
+	}
+}
+
+func TestSummarizeEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on empty input")
+		}
+	}()
+	Summarize(nil)
+}
+
+func TestSummarizeInts(t *testing.T) {
+	s := SummarizeInts([]int{10, 20, 30})
+	if s.Median != 20 || s.Min != 10 || s.Max != 30 {
+		t.Errorf("int summary = %+v", s)
+	}
+}
+
+func TestStringFormat(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3})
+	str := s.String()
+	for _, part := range []string{"min=", "med=", "max=", "n=3"} {
+		if !strings.Contains(str, part) {
+			t.Errorf("String() = %q missing %q", str, part)
+		}
+	}
+}
+
+func TestQuickSummaryInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(100)
+		samples := make([]float64, n)
+		for i := range samples {
+			samples[i] = rng.NormFloat64() * 10
+		}
+		s := Summarize(samples)
+		return s.Min <= s.Q1 && s.Q1 <= s.Median && s.Median <= s.Q3 &&
+			s.Q3 <= s.Max && s.Mean >= s.Min && s.Mean <= s.Max && s.StdDev >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,93 @@
+package venus
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+)
+
+func TestRunPatternRejectsBadPattern(t *testing.T) {
+	tp := paperTree(t, 16)
+	bad := pattern.New(300) // larger than the tree
+	bad.Add(0, 299, 100)
+	if _, err := RunPattern(tp, core.NewDModK(tp), bad, DefaultConfig()); err == nil {
+		t.Error("oversized pattern accepted")
+	}
+}
+
+func TestRunPatternBadConfig(t *testing.T) {
+	tp := paperTree(t, 16)
+	p := pattern.Shift(256, 1, 100)
+	if _, err := RunPattern(tp, core.NewDModK(tp), p, Config{}); err == nil {
+		t.Error("zero config accepted")
+	}
+}
+
+func TestCrossbarPhasesSumsPhases(t *testing.T) {
+	phases, err := pattern.CGPhases(64, 8*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total, err := CrossbarPhases(phases, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum int64
+	for _, ph := range phases {
+		d, err := CrossbarTime(ph, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += int64(d)
+	}
+	if int64(total) != sum {
+		t.Errorf("CrossbarPhases %d != sum of phases %d", total, sum)
+	}
+}
+
+func TestMeasuredSlowdownEmptyPattern(t *testing.T) {
+	tp := paperTree(t, 16)
+	p := pattern.New(256) // no flows
+	s, err := MeasuredSlowdown(tp, core.NewDModK(tp), p, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 1 {
+		t.Errorf("empty pattern slowdown = %.2f, want 1", s)
+	}
+}
+
+func TestRunPhasesPropagatesErrors(t *testing.T) {
+	tp := paperTree(t, 16)
+	bad := pattern.New(300)
+	bad.Add(0, 299, 100)
+	if _, err := RunPhases(tp, core.NewDModK(tp), []*pattern.Pattern{bad}, DefaultConfig()); err == nil {
+		t.Error("bad phase accepted")
+	}
+}
+
+func TestMeasuredSlowdownConsistencyAcrossSizes(t *testing.T) {
+	// Bandwidth-bound slowdowns are nearly message-size invariant —
+	// the property that lets benchmarks scale sizes down.
+	tp := paperTree(t, 8)
+	rng := rand.New(rand.NewSource(13))
+	p16 := pattern.RandomPermutationPattern(256, 16*1024, rng)
+	p64 := pattern.New(256)
+	for _, f := range p16.Flows {
+		p64.Add(f.Src, f.Dst, 64*1024)
+	}
+	algo := core.NewRandom(tp, 2)
+	s16, err := MeasuredSlowdown(tp, algo, p16, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s64, err := MeasuredSlowdown(tp, algo, p64, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ratio := s64 / s16; ratio < 0.9 || ratio > 1.1 {
+		t.Errorf("slowdown size-dependent: 16KB %.2f vs 64KB %.2f", s16, s64)
+	}
+}

@@ -1,0 +1,179 @@
+package venus
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/eventq"
+	"repro/internal/pattern"
+)
+
+func TestChannelUsagesAccounting(t *testing.T) {
+	tp := paperTree(t, 16)
+	s, err := New(tp, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo := core.NewDModK(tp)
+	const bytes = 4 * 1024
+	if err := s.Inject(Message{Src: 0, Dst: 16, Bytes: bytes, Route: algo.Route(0, 16)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	usages := s.ChannelUsages()
+	// 4 hops: 2 up channels and 2 down channels carried the message.
+	if len(usages) != 4 {
+		t.Fatalf("%d channels used, want 4", len(usages))
+	}
+	var up, down int
+	for _, u := range usages {
+		if u.Bytes != bytes {
+			t.Errorf("channel (%d up=%v) carried %d bytes, want %d", u.Wire, u.Up, u.Bytes, bytes)
+		}
+		if u.Segments != 4 {
+			t.Errorf("channel carried %d segments, want 4", u.Segments)
+		}
+		if u.BusyTime != eventq.Time(bytes/8)*32 {
+			t.Errorf("busy time %d, want %d", u.BusyTime, bytes/8*32)
+		}
+		if u.Up {
+			up++
+		} else {
+			down++
+		}
+	}
+	if up != 2 || down != 2 {
+		t.Errorf("up/down = %d/%d, want 2/2", up, down)
+	}
+	if u := usages[0].Utilization(s.Q.Now()); u <= 0 || u > 1 {
+		t.Errorf("utilization = %.3f", u)
+	}
+}
+
+func TestMaxUtilizationBounds(t *testing.T) {
+	tp := paperTree(t, 16)
+	s, err := New(tp, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s.MaxUtilization(); got != 0 {
+		t.Errorf("idle utilization = %.3f", got)
+	}
+	algo := core.NewDModK(tp)
+	p := pattern.WRF(16, 16, 16*1024)
+	for _, f := range p.Flows {
+		if err := s.Inject(Message{Src: f.Src, Dst: f.Dst, Bytes: f.Bytes, Route: algo.Route(f.Src, f.Dst)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	u := s.MaxUtilization()
+	if u <= 0.5 || u > 1.0001 {
+		t.Errorf("max utilization = %.3f, want (0.5, 1]", u)
+	}
+}
+
+func TestUsageSummary(t *testing.T) {
+	tp := paperTree(t, 16)
+	s, err := New(tp, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	algo := core.NewDModK(tp)
+	s.Inject(Message{Src: 0, Dst: 16, Bytes: 1024, Route: algo.Route(0, 16)})
+	if _, err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	sum := s.UsageSummary()
+	if !strings.Contains(sum, "level 0") || !strings.Contains(sum, "level 1") {
+		t.Errorf("summary missing levels: %q", sum)
+	}
+}
+
+func TestCutThroughReducesLatencyNotBandwidth(t *testing.T) {
+	tp := paperTree(t, 16)
+	algo := core.NewDModK(tp)
+
+	run := func(cut bool, bytes int64) eventq.Time {
+		cfg := DefaultConfig()
+		cfg.CutThrough = cut
+		s, err := New(tp, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Inject(Message{Src: 0, Dst: 16, Bytes: bytes, Route: algo.Route(0, 16)}); err != nil {
+			t.Fatal(err)
+		}
+		end, err := s.Run(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return end
+	}
+
+	// Single segment: cut-through collapses the 4x store-and-forward
+	// serialization to ~1 segment + 3 flit headers.
+	sf := run(false, 1024)
+	ct := run(true, 1024)
+	if ct >= sf {
+		t.Errorf("cut-through %d not faster than store-and-forward %d", ct, sf)
+	}
+	want := eventq.Time(4096 + 3*32 + 4*32) // tail + 3 header hops + 4 wires
+	if ct != want {
+		t.Errorf("cut-through latency = %d, want %d", ct, want)
+	}
+
+	// Long message: both are bandwidth-bound; difference stays within
+	// the pipeline fill (3 segments).
+	sfLong := run(false, 256*1024)
+	ctLong := run(true, 256*1024)
+	if ctLong >= sfLong {
+		t.Errorf("cut-through long %d not faster than SF %d", ctLong, sfLong)
+	}
+	if sfLong-ctLong > 4*4096 {
+		t.Errorf("cut-through saved %d ns on a long message, more than pipeline fill", sfLong-ctLong)
+	}
+}
+
+func TestCutThroughContentionRatiosUnchanged(t *testing.T) {
+	// The Fig. 2 slowdown ratios must be engine-invariant: cut-through
+	// and store-and-forward agree on the CG pathology factor.
+	tp := paperTree(t, 16)
+	ph, err := pattern.CGTransposePhase(128, 32*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig()
+	sSF, err := MeasuredSlowdown(tp, core.NewDModK(tp), ph, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.CutThrough = true
+	sCT, err := MeasuredSlowdown(tp, core.NewDModK(tp), ph, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := sSF - sCT; diff > 0.5 || diff < -0.5 {
+		t.Errorf("slowdown differs across forwarding modes: SF %.2f vs CT %.2f", sSF, sCT)
+	}
+}
+
+func TestCutThroughAllDelivered(t *testing.T) {
+	tp := paperTree(t, 4)
+	cfg := DefaultConfig()
+	cfg.CutThrough = true
+	cfg.BufferSegments = 2
+	p := pattern.Tornado(256, 16*1024)
+	end, err := RunPattern(tp, core.NewRandom(tp, 11), p, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if end <= 0 {
+		t.Error("no time elapsed")
+	}
+}

@@ -1,0 +1,447 @@
+// Package venus is the event-driven network simulator substituting
+// for the Venus flit-level simulator of the paper's methodology
+// (§VI-B). It simulates an XGFT (or the ideal crossbar, itself an
+// XGFT(1;N;1)) at segment granularity with flit-quantized timing:
+//
+//   - full-duplex links of configurable bandwidth (default 2 Gb/s),
+//   - messages segmented at the adapter (default 1 KB segments) with
+//     round-robin interleaving among concurrent messages,
+//   - input-buffered switches: per-input-channel buffers of
+//     configurable depth, credit-based backpressure, round-robin
+//     arbitration among inputs competing for an output,
+//   - store-and-forward per segment with configurable wire latency.
+//
+// The simulation is deterministic: a single discrete-event calendar
+// with FIFO ordering among simultaneous events.
+package venus
+
+import (
+	"fmt"
+
+	"repro/internal/eventq"
+	"repro/internal/xgft"
+)
+
+// Config carries the network parameters of the paper's §VI-B model.
+type Config struct {
+	// LinkBytesPerSec is the link speed; the paper uses 2 Gbit/s.
+	LinkBytesPerSec int64
+	// SegmentBytes is the adapter segmentation unit (paper: 1 KB).
+	SegmentBytes int
+	// FlitBytes quantizes transmission times (paper: 8 B flits).
+	FlitBytes int
+	// BufferSegments is the per-input-channel buffer depth of
+	// switches, in segments.
+	BufferSegments int
+	// WireLatency is the propagation delay of every hop.
+	WireLatency eventq.Time
+	// CutThrough enables virtual cut-through forwarding: a segment
+	// becomes available at the next hop one flit time after its
+	// transmission starts instead of after it fully arrives
+	// (store-and-forward, the default). Bandwidth and contention are
+	// unaffected; per-hop latency shrinks from a full segment to a
+	// flit. Used by the latency-model ablation benchmarks.
+	CutThrough bool
+}
+
+// DefaultConfig returns the paper's parameters: 2 Gb/s links, 1 KB
+// segments, 8 B flits, 8-segment input buffers, 32 ns wires.
+func DefaultConfig() Config {
+	return Config{
+		LinkBytesPerSec: 250_000_000, // 2 Gbit/s
+		SegmentBytes:    1024,
+		FlitBytes:       8,
+		BufferSegments:  8,
+		WireLatency:     32,
+	}
+}
+
+func (c Config) validate() error {
+	if c.LinkBytesPerSec <= 0 {
+		return fmt.Errorf("venus: link speed %d must be positive", c.LinkBytesPerSec)
+	}
+	if c.SegmentBytes <= 0 {
+		return fmt.Errorf("venus: segment size %d must be positive", c.SegmentBytes)
+	}
+	if c.FlitBytes <= 0 || c.FlitBytes > c.SegmentBytes {
+		return fmt.Errorf("venus: flit size %d must be in (0,%d]", c.FlitBytes, c.SegmentBytes)
+	}
+	if c.BufferSegments <= 0 {
+		return fmt.Errorf("venus: buffer depth %d must be positive", c.BufferSegments)
+	}
+	if c.WireLatency < 0 {
+		return fmt.Errorf("venus: negative wire latency")
+	}
+	return nil
+}
+
+// flitTime returns the transmission time of one flit.
+func (c Config) flitTime() eventq.Time {
+	// ns per flit = FlitBytes / (bytes per ns); computed in integer
+	// arithmetic: 1e9 * FlitBytes / LinkBytesPerSec.
+	return eventq.Time(int64(c.FlitBytes) * 1_000_000_000 / c.LinkBytesPerSec)
+}
+
+// Message is one end-to-end transfer.
+type Message struct {
+	Src, Dst int
+	Bytes    int64
+	// Route must connect Src to Dst (empty for Src == Dst).
+	Route xgft.Route
+	// Tag is caller-defined (MPI tag matching in the replay engine).
+	Tag int
+	// OnDelivered, if non-nil, fires when the last byte is ejected at
+	// the destination adapter.
+	OnDelivered func(at eventq.Time)
+}
+
+// message is the in-flight state of a Message.
+type message struct {
+	Message
+	id           int
+	segsTotal    int
+	segsInjected int
+	segsArrived  int
+	path         []int // directed channel sequence (nil for adaptive)
+	lastBytes    int   // size of the final (possibly short) segment
+	adaptive     bool
+	injectedAt   eventq.Time
+	deliveredAt  eventq.Time
+}
+
+// segment is one unit of transfer.
+type segment struct {
+	msg      *message
+	bytes    int
+	hop      int      // index into msg.path of the channel it waits for / rides
+	origin   *channel // channel whose downstream buffer it occupies (nil at the source adapter)
+	adaptive *adaptiveState
+}
+
+// directed channel states.
+type channel struct {
+	id      int
+	busy    bool
+	credits int  // space left in the downstream input buffer
+	sink    bool // downstream is a leaf adapter (infinite credit)
+	queues  []segFIFO
+	class   map[int]int // arbitration class -> queue index
+	rr      int
+	queued  int
+
+	// usage accounting (see stats.go)
+	bytes    int64
+	busyTime eventq.Time
+	segments int
+}
+
+type segFIFO struct {
+	segs []*segment
+}
+
+func (f *segFIFO) push(s *segment) { f.segs = append(f.segs, s) }
+func (f *segFIFO) empty() bool     { return len(f.segs) == 0 }
+func (f *segFIFO) pop() *segment {
+	s := f.segs[0]
+	copy(f.segs, f.segs[1:])
+	f.segs = f.segs[:len(f.segs)-1]
+	return s
+}
+
+// Sim is one simulation instance. Not safe for concurrent use; run
+// one Sim per goroutine for parallel sweeps.
+type Sim struct {
+	Topo *xgft.Topology
+	Cfg  Config
+	Q    *eventq.Queue
+
+	chans    []*channel // 2*TotalChannels: ups then downs
+	nextMsg  int
+	inflight int
+	done     []*message
+
+	// Stats
+	SegmentsMoved uint64
+	adaptTie      uint64
+}
+
+// New builds a simulator for the topology. The event queue is owned
+// by the Sim but exported so coupled engines (internal/dimemas) can
+// schedule their own events on the same clock.
+func New(t *xgft.Topology, cfg Config) (*Sim, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{Topo: t, Cfg: cfg, Q: new(eventq.Queue)}
+	n := t.TotalChannels()
+	s.chans = make([]*channel, 2*n)
+	for i := range s.chans {
+		c := &channel{id: i, credits: cfg.BufferSegments, class: make(map[int]int)}
+		if i >= n {
+			// Down channel: sinks into a leaf when its wire is at
+			// level 0.
+			level, _, _ := t.ChannelOf(i - n)
+			c.sink = level == 0
+		}
+		s.chans[i] = c
+	}
+	return s, nil
+}
+
+// upID and downID map wire IDs to directed channel indices.
+func (s *Sim) upID(wire int) int   { return wire }
+func (s *Sim) downID(wire int) int { return s.Topo.TotalChannels() + wire }
+
+// pathOf compiles a route into its directed channel sequence.
+func (s *Sim) pathOf(r xgft.Route) []int {
+	path := make([]int, 0, r.Hops())
+	r.Walk(s.Topo, func(_, _, _, wire int, up bool) {
+		if up {
+			path = append(path, s.upID(wire))
+		} else {
+			path = append(path, s.downID(wire))
+		}
+	})
+	return path
+}
+
+// Inject posts a message at the current simulated time. Messages with
+// Src == Dst are delivered after a zero-copy local latency of one
+// wire delay without touching the network.
+func (s *Sim) Inject(m Message) error {
+	if m.Bytes < 0 {
+		return fmt.Errorf("venus: negative message size")
+	}
+	if m.Src != m.Dst {
+		if m.Route.Src != m.Src || m.Route.Dst != m.Dst {
+			return fmt.Errorf("venus: inject: route endpoints (%d,%d) do not match message (%d,%d)", m.Route.Src, m.Route.Dst, m.Src, m.Dst)
+		}
+		if err := m.Route.Validate(s.Topo); err != nil {
+			return fmt.Errorf("venus: inject: %w", err)
+		}
+	}
+	msg := &message{Message: m, id: s.nextMsg, injectedAt: s.Q.Now()}
+	s.nextMsg++
+	if m.Src == m.Dst {
+		s.Q.After(s.Cfg.WireLatency, func() {
+			msg.deliveredAt = s.Q.Now()
+			s.done = append(s.done, msg)
+			if msg.OnDelivered != nil {
+				msg.OnDelivered(s.Q.Now())
+			}
+		})
+		s.inflight++
+		s.Q.After(s.Cfg.WireLatency, func() { s.inflight-- })
+		return nil
+	}
+	msg.path = s.pathOf(m.Route)
+	seg := int64(s.Cfg.SegmentBytes)
+	msg.segsTotal = int((m.Bytes + seg - 1) / seg)
+	if msg.segsTotal == 0 {
+		msg.segsTotal = 1 // zero-byte message still sends a header
+	}
+	msg.lastBytes = int(m.Bytes - seg*int64(msg.segsTotal-1))
+	if msg.lastBytes <= 0 {
+		msg.lastBytes = 1 // header flit for empty payloads
+	}
+	s.inflight++
+	// The adapter feeds the first channel; arbitration class is the
+	// message ID, giving the paper's round-robin interleaving of
+	// concurrent messages at the adapter.
+	first := s.chans[msg.path[0]]
+	s.enqueueNextSegment(msg, first)
+	return nil
+}
+
+// enqueueNextSegment hands the adapter's next segment of msg to the
+// injection channel. Only one segment of a message occupies the
+// injection queue at a time; the next is enqueued when the previous
+// one starts transmission, which keeps per-message order while
+// letting round-robin interleave messages fairly.
+func (s *Sim) enqueueNextSegment(msg *message, first *channel) {
+	if msg.segsInjected >= msg.segsTotal {
+		return
+	}
+	bytes := s.Cfg.SegmentBytes
+	if msg.segsInjected == msg.segsTotal-1 {
+		bytes = msg.lastBytes
+	}
+	seg := &segment{msg: msg, bytes: bytes, hop: 0}
+	msg.segsInjected++
+	s.enqueue(first, seg, adapterClassBase+msg.id)
+	s.kick(first)
+}
+
+// adapterClassBase keeps message-ID arbitration classes from
+// colliding with channel-ID classes on shared output ports.
+const adapterClassBase = 1 << 30
+
+// enqueue places a segment into the channel's virtual queue for its
+// arbitration class.
+func (s *Sim) enqueue(c *channel, seg *segment, class int) {
+	qi, ok := c.class[class]
+	if !ok {
+		qi = len(c.queues)
+		c.class[class] = qi
+		c.queues = append(c.queues, segFIFO{})
+	}
+	c.queues[qi].push(seg)
+	c.queued++
+}
+
+// kick starts a transmission on the channel if it is idle, has
+// credit, and has a queued segment. Round-robin scans the virtual
+// queues starting after the last served one.
+func (s *Sim) kick(c *channel) {
+	if c.busy || c.queued == 0 {
+		return
+	}
+	if !c.sink && c.credits == 0 {
+		return
+	}
+	n := len(c.queues)
+	for i := 1; i <= n; i++ {
+		qi := (c.rr + i) % n
+		if c.queues[qi].empty() {
+			continue
+		}
+		c.rr = qi
+		seg := c.queues[qi].pop()
+		c.queued--
+		s.transmit(c, seg)
+		return
+	}
+}
+
+// transmit serializes the segment on the channel and schedules its
+// arrival downstream. The segment's claim on its current input buffer
+// (if any) is released as soon as serialization starts and the credit
+// travels back upstream after one wire delay — the standard
+// credit-based flow control loop.
+func (s *Sim) transmit(c *channel, seg *segment) {
+	c.busy = true
+	if !c.sink {
+		c.credits--
+	}
+	if orig := seg.origin; orig != nil {
+		seg.origin = nil
+		s.Q.After(s.Cfg.WireLatency, func() {
+			orig.credits++
+			s.kick(orig)
+		})
+	}
+	flits := (seg.bytes + s.Cfg.FlitBytes - 1) / s.Cfg.FlitBytes
+	if flits == 0 {
+		flits = 1
+	}
+	dur := eventq.Time(flits) * s.Cfg.flitTime()
+	c.bytes += int64(seg.bytes)
+	c.busyTime += dur
+	c.segments++
+	// If this segment came from the adapter, release the next one of
+	// its message now that serialization started.
+	if seg.hop == 0 {
+		if seg.adaptive != nil {
+			s.enqueueNextAdaptiveSegment(seg.msg)
+		} else {
+			s.enqueueNextSegment(seg.msg, c)
+		}
+	}
+	var lastHop bool
+	if seg.adaptive != nil {
+		lastHop = seg.adaptive.level == 0
+	} else {
+		lastHop = seg.hop == len(seg.msg.path)-1
+	}
+	if s.Cfg.CutThrough && !lastHop {
+		// The head flit reaches the next switch after one flit time
+		// plus the wire; the segment can contend for its next output
+		// while its tail is still on this wire. The final ejection
+		// (delivery) always waits for the tail.
+		s.Q.After(s.Cfg.flitTime()+s.Cfg.WireLatency, func() { s.arrive(c, seg) })
+		s.Q.After(dur, func() {
+			c.busy = false
+			s.kick(c)
+		})
+		return
+	}
+	s.Q.After(dur, func() {
+		c.busy = false
+		s.kick(c)
+		// Arrival after the wire delay.
+		s.Q.After(s.Cfg.WireLatency, func() { s.arrive(c, seg) })
+	})
+}
+
+// arrive lands the segment downstream of channel c: either it reached
+// the destination adapter (last hop) or it queues for its next hop,
+// holding a buffer slot of c (seg.origin) until it moves on.
+func (s *Sim) arrive(from *channel, seg *segment) {
+	s.SegmentsMoved++
+	msg := seg.msg
+	atDestination := false
+	if seg.adaptive != nil {
+		atDestination = seg.adaptive.level == 0
+	} else {
+		atDestination = seg.hop == len(msg.path)-1
+	}
+	if atDestination {
+		// Ejected at the destination adapter.
+		msg.segsArrived++
+		if msg.segsArrived == msg.segsTotal {
+			msg.deliveredAt = s.Q.Now()
+			s.inflight--
+			s.done = append(s.done, msg)
+			if msg.OnDelivered != nil {
+				msg.OnDelivered(s.Q.Now())
+			}
+		}
+		return
+	}
+	seg.hop++
+	seg.origin = from
+	var next *channel
+	if seg.adaptive != nil {
+		next = s.pickAdaptive(seg.adaptive)
+	} else {
+		next = s.chans[msg.path[seg.hop]]
+	}
+	s.enqueue(next, seg, from.id)
+	s.kick(next)
+}
+
+// Run drains all pending traffic and returns the completion time of
+// the last delivery. maxEvents <= 0 means unbounded.
+func (s *Sim) Run(maxEvents uint64) (eventq.Time, error) {
+	if !s.Q.Run(maxEvents) {
+		return 0, fmt.Errorf("venus: event budget %d exhausted with %d messages in flight", maxEvents, s.inflight)
+	}
+	if s.inflight != 0 {
+		return 0, fmt.Errorf("venus: simulation stalled with %d messages in flight (deadlock?)", s.inflight)
+	}
+	return s.Q.Now(), nil
+}
+
+// Delivered returns per-message delivery records in completion order.
+func (s *Sim) Delivered() []Delivery {
+	out := make([]Delivery, len(s.done))
+	for i, m := range s.done {
+		out[i] = Delivery{
+			Src: m.Src, Dst: m.Dst, Bytes: m.Bytes, Tag: m.Tag,
+			InjectedAt: m.injectedAt, DeliveredAt: m.deliveredAt,
+		}
+	}
+	return out
+}
+
+// Delivery is the public record of one completed message.
+type Delivery struct {
+	Src, Dst    int
+	Bytes       int64
+	Tag         int
+	InjectedAt  eventq.Time
+	DeliveredAt eventq.Time
+}
+
+// InFlight returns the number of undelivered messages.
+func (s *Sim) InFlight() int { return s.inflight }

@@ -1,0 +1,44 @@
+package xgft
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Parse builds a topology from the compact notation
+// "h;m1,...,mh;w1,...,wh" — e.g. "2;16,16;1,10" for the paper's
+// slimmed tree — mirroring the XGFT(h;m...;w...) notation with the
+// decoration stripped.
+func Parse(spec string) (*Topology, error) {
+	parts := strings.Split(strings.TrimSpace(spec), ";")
+	if len(parts) != 3 {
+		return nil, fmt.Errorf(`xgft: spec %q: want "h;m1,..,mh;w1,..,wh"`, spec)
+	}
+	h, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return nil, fmt.Errorf("xgft: spec %q: bad height: %v", spec, err)
+	}
+	m, err := parseInts(parts[1])
+	if err != nil {
+		return nil, fmt.Errorf("xgft: spec %q: bad m-vector: %v", spec, err)
+	}
+	w, err := parseInts(parts[2])
+	if err != nil {
+		return nil, fmt.Errorf("xgft: spec %q: bad w-vector: %v", spec, err)
+	}
+	return New(h, m, w)
+}
+
+func parseInts(s string) ([]int, error) {
+	fields := strings.Split(s, ",")
+	out := make([]int, 0, len(fields))
+	for _, f := range fields {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,0 +1,402 @@
+// Package xgft models extended generalized fat tree (XGFT) topologies as
+// defined by Öhring et al. and used by Rodriguez et al. (CLUSTER 2009).
+//
+// An XGFT(h; m1..mh; w1..wh) has h+1 levels. Level 0 holds the
+// N = m1*m2*...*mh leaf (processing) nodes; levels 1..h hold switches.
+// Every non-leaf node at level i has m_i children, and every non-root
+// node at level i has w_{i+1} parents.
+//
+// Throughout this package levels are 0-indexed the same way as the
+// paper (leaves at level 0, roots at level h), but the parameter
+// vectors are 0-indexed slices: M[i] is the paper's m_{i+1} and
+// W[i] is the paper's w_{i+1}.
+//
+// Node identity is (level, index) with index a mixed-radix number over
+// the node's label digits (digit h-1 most significant). The label of a
+// node at level l has digits j=0..h-1 where digits j < l are W-digits
+// (range [0, W[j])) and digits j >= l are M-digits (range [0, M[j])),
+// exactly the <M_h .. M_{l+1}, W_l .. W_1> labels of the paper's
+// Table I.
+package xgft
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+)
+
+// MaxHeight bounds the height accepted by New. Realistic fat trees have
+// h <= 6; the bound only guards against absurd allocations.
+const MaxHeight = 16
+
+// Topology is an immutable description of an XGFT(h; m...; w...).
+type Topology struct {
+	h int
+	m []int // m[i] = paper m_{i+1}: children per node at level i+1
+	w []int // w[i] = paper w_{i+1}: parents per node at level i
+
+	leaves     int   // product of all m[i]
+	nodesAt    []int // nodesAt[l] = number of nodes at level l
+	upChanAt   []int // upChanAt[l] = number of up channels leaving level l
+	upChanBase []int // prefix sums of upChanAt for flat channel IDs
+	totalUp    int
+}
+
+// New validates the parameter vectors and constructs the topology.
+// m and w must both have length h; every m_i >= 1 and w_i >= 1.
+func New(h int, m, w []int) (*Topology, error) {
+	if h < 1 || h > MaxHeight {
+		return nil, fmt.Errorf("xgft: height %d out of range [1,%d]", h, MaxHeight)
+	}
+	if len(m) != h || len(w) != h {
+		return nil, fmt.Errorf("xgft: need %d m-parameters and %d w-parameters, got %d and %d", h, h, len(m), len(w))
+	}
+	leaves := 1
+	for i, mi := range m {
+		if mi < 1 {
+			return nil, fmt.Errorf("xgft: m[%d]=%d must be >= 1", i, mi)
+		}
+		if leaves > (1<<31)/mi {
+			return nil, errors.New("xgft: too many leaves (overflow)")
+		}
+		leaves *= mi
+	}
+	for i, wi := range w {
+		if wi < 1 {
+			return nil, fmt.Errorf("xgft: w[%d]=%d must be >= 1", i, wi)
+		}
+	}
+	t := &Topology{
+		h:      h,
+		m:      append([]int(nil), m...),
+		w:      append([]int(nil), w...),
+		leaves: leaves,
+	}
+	t.nodesAt = make([]int, h+1)
+	for l := 0; l <= h; l++ {
+		n := 1
+		for j := l; j < h; j++ {
+			n *= t.m[j]
+		}
+		for j := 0; j < l; j++ {
+			n *= t.w[j]
+		}
+		t.nodesAt[l] = n
+	}
+	t.upChanAt = make([]int, h)
+	t.upChanBase = make([]int, h+1)
+	for l := 0; l < h; l++ {
+		t.upChanAt[l] = t.nodesAt[l] * t.w[l]
+		t.upChanBase[l+1] = t.upChanBase[l] + t.upChanAt[l]
+	}
+	t.totalUp = t.upChanBase[h]
+	return t, nil
+}
+
+// MustNew is New that panics on error; intended for tests and literals
+// with compile-time-known good parameters.
+func MustNew(h int, m, w []int) *Topology {
+	t, err := New(h, m, w)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// NewKaryNTree builds the k-ary n-tree XGFT(n; k,...,k; 1,k,...,k):
+// N = k^n leaves and n*k^(n-1) switches, full bisection bandwidth.
+func NewKaryNTree(k, n int) (*Topology, error) {
+	if k < 1 || n < 1 {
+		return nil, fmt.Errorf("xgft: invalid k-ary n-tree parameters k=%d n=%d", k, n)
+	}
+	m := make([]int, n)
+	w := make([]int, n)
+	for i := range m {
+		m[i] = k
+		w[i] = k
+	}
+	w[0] = 1
+	return New(n, m, w)
+}
+
+// NewSlimmedTree builds XGFT(2; m1,m2; 1,w2): the progressively slimmed
+// two-level trees of the paper's evaluation (Figs. 2, 4, 5). With
+// m1=m2=16 and w2=16 this is the full 16-ary 2-tree; w2 < 16 slims it.
+func NewSlimmedTree(m1, m2, w2 int) (*Topology, error) {
+	return New(2, []int{m1, m2}, []int{1, w2})
+}
+
+// NewFullCrossbar models the paper's ideal single-stage crossbar
+// reference network as XGFT(1; n; 1): one switch, every leaf one
+// injection and one ejection channel, no internal contention.
+func NewFullCrossbar(n int) (*Topology, error) {
+	return New(1, []int{n}, []int{1})
+}
+
+// Height returns h: the level of the root switches.
+func (t *Topology) Height() int { return t.h }
+
+// Leaves returns the number of processing (level-0) nodes.
+func (t *Topology) Leaves() int { return t.leaves }
+
+// M returns the paper's m_{i+1} (children per level-(i+1) node).
+func (t *Topology) M(i int) int { return t.m[i] }
+
+// W returns the paper's w_{i+1} (parents per level-i node).
+func (t *Topology) W(i int) int { return t.w[i] }
+
+// Ms returns a copy of the child-count vector (Ms()[i] = m_{i+1}).
+func (t *Topology) Ms() []int { return append([]int(nil), t.m...) }
+
+// Ws returns a copy of the parent-count vector (Ws()[i] = w_{i+1}).
+func (t *Topology) Ws() []int { return append([]int(nil), t.w...) }
+
+// NodesAt returns the number of nodes at level l (the paper's N^l).
+func (t *Topology) NodesAt(l int) int { return t.nodesAt[l] }
+
+// InnerSwitches computes the paper's Eq. (1): the total number of
+// switches on levels 1..h.
+func (t *Topology) InnerSwitches() int {
+	total := 0
+	for l := 1; l <= t.h; l++ {
+		total += t.nodesAt[l]
+	}
+	return total
+}
+
+// IsKaryNTree reports whether the topology is a (full-bisection)
+// k-ary n-tree and, if so, returns k.
+func (t *Topology) IsKaryNTree() (k int, ok bool) {
+	k = t.m[0]
+	if t.w[0] != 1 {
+		return 0, false
+	}
+	for i := 0; i < t.h; i++ {
+		if t.m[i] != k {
+			return 0, false
+		}
+		if i > 0 && t.w[i] != k {
+			return 0, false
+		}
+	}
+	return k, true
+}
+
+// IsSlimmed reports whether some level has fewer parents than children
+// below it would need for full bisection (w_{i+1} < m_i for i >= 1),
+// making the network blocking.
+func (t *Topology) IsSlimmed() bool {
+	for i := 1; i < t.h; i++ {
+		if t.w[i] < t.m[i-1] {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the standard XGFT(h; m...; w...) notation.
+func (t *Topology) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "XGFT(%d;", t.h)
+	for i, mi := range t.m {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", mi)
+	}
+	b.WriteByte(';')
+	for i, wi := range t.w {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", wi)
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// digitBase returns the radix of digit j for a node at level l.
+func (t *Topology) digitBase(level, j int) int {
+	if j < level {
+		return t.w[j]
+	}
+	return t.m[j]
+}
+
+// Label decodes the index of a node at the given level into its label
+// digits, least significant (the paper's M_1/W_1) first.
+func (t *Topology) Label(level, index int) []int {
+	d := make([]int, t.h)
+	t.LabelInto(level, index, d)
+	return d
+}
+
+// LabelInto is Label without allocation; d must have length h.
+func (t *Topology) LabelInto(level, index int, d []int) {
+	for j := 0; j < t.h; j++ {
+		base := t.digitBase(level, j)
+		d[j] = index % base
+		index /= base
+	}
+}
+
+// Index encodes label digits (least significant first) of a node at
+// the given level back into its index. Digits out of range panic via
+// checkDigits in debug paths; Index itself trusts its input.
+func (t *Topology) Index(level int, d []int) int {
+	idx := 0
+	for j := t.h - 1; j >= 0; j-- {
+		idx = idx*t.digitBase(level, j) + d[j]
+	}
+	return idx
+}
+
+// FormatLabel renders a label the way the paper's Table I does:
+// <D_h, ..., D_1> with most significant digit first.
+func (t *Topology) FormatLabel(level, index int) string {
+	d := t.Label(level, index)
+	var b strings.Builder
+	b.WriteByte('<')
+	for j := t.h - 1; j >= 0; j-- {
+		if j < t.h-1 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%d", d[j])
+	}
+	b.WriteByte('>')
+	return b.String()
+}
+
+// Parent returns the index (at level+1) of the parent reached from the
+// node (level, index) through up-port p in [0, W(level)).
+func (t *Topology) Parent(level, index, p int) int {
+	// Going up replaces digit `level` (an M-digit of radix m[level])
+	// with the W-digit p. Recompute the mixed-radix index with the
+	// changed radix at position `level`.
+	lowBase := 1
+	for j := 0; j < level; j++ {
+		lowBase *= t.w[j]
+	}
+	low := index % lowBase
+	rest := index / lowBase // digits level.. with m[level] next
+	high := rest / t.m[level]
+	return (high*t.w[level]+p)*lowBase + low
+}
+
+// Child returns the index (at level-1) of the child reached from the
+// node (level, index) through down-port c in [0, M(level-1)).
+func (t *Topology) Child(level, index, c int) int {
+	j := level - 1 // digit being replaced: W-digit w[j] -> M-digit c
+	lowBase := 1
+	for i := 0; i < j; i++ {
+		lowBase *= t.w[i]
+	}
+	low := index % lowBase
+	rest := index / lowBase
+	high := rest / t.w[j]
+	return (high*t.m[j]+c)*lowBase + low
+}
+
+// UpPortOf returns the up-port on child (at level) that leads to the
+// given parent (at level+1), i.e. the parent's digit at position level.
+func (t *Topology) UpPortOf(level, parentIndex int) int {
+	lowBase := 1
+	for j := 0; j < level; j++ {
+		lowBase *= t.w[j]
+	}
+	return (parentIndex / lowBase) % t.w[level]
+}
+
+// DownPortOf returns the down-port on a parent at level+1 that leads
+// to the given child (at level), i.e. the child's digit at position
+// level.
+func (t *Topology) DownPortOf(level, childIndex int) int {
+	lowBase := 1
+	for j := 0; j < level; j++ {
+		lowBase *= t.w[j]
+	}
+	return (childIndex / lowBase) % t.m[level]
+}
+
+// NCALevel returns the level of the nearest common ancestors of two
+// distinct leaves: one plus the highest digit position at which their
+// labels differ. For s == d it returns 0.
+func (t *Topology) NCALevel(s, d int) int {
+	if s == d {
+		return 0
+	}
+	level := 0
+	for j := 0; j < t.h; j++ {
+		base := t.m[j]
+		if s%base != d%base {
+			level = j + 1
+		}
+		s /= base
+		d /= base
+	}
+	return level
+}
+
+// NCACount returns how many distinct NCAs a pair with NCA level l can
+// choose from: the product w_1*...*w_l of the free W-digits.
+func (t *Topology) NCACount(l int) int {
+	n := 1
+	for j := 0; j < l; j++ {
+		n *= t.w[j]
+	}
+	return n
+}
+
+// NCAIndex returns the index (at level l = len(up) = NCALevel) of the
+// NCA reached from leaf s by taking up-ports up[0..l-1].
+func (t *Topology) NCAIndex(s int, up []int) int {
+	idx := s
+	for l, p := range up {
+		idx = t.Parent(l, idx, p)
+	}
+	return idx
+}
+
+// RootOfRoute returns, for two-level trees and higher, the index of
+// the top-level ancestor a route through the given NCA would use if
+// extended; for the common h=2 evaluation topologies the NCA at level
+// 2 is itself a root.
+//
+// UpChannelID flat-numbers the up channel leaving (level, index)
+// through port p; the same ID also identifies the paired down channel
+// (parent -> child over the same wire). IDs are dense in
+// [0, TotalChannels()).
+func (t *Topology) UpChannelID(level, index, p int) int {
+	return t.upChanBase[level] + index*t.w[level] + p
+}
+
+// ChannelOf decodes a flat channel ID back into (level, index, port)
+// where index is the lower (child-side) endpoint.
+func (t *Topology) ChannelOf(id int) (level, index, p int) {
+	level = 0
+	for level+1 < t.h && id >= t.upChanBase[level+1] {
+		level++
+	}
+	id -= t.upChanBase[level]
+	return level, id / t.w[level], id % t.w[level]
+}
+
+// TotalChannels returns the number of distinct child-parent wire pairs
+// (each carrying one up and one down channel).
+func (t *Topology) TotalChannels() int { return t.totalUp }
+
+// ChannelsAt returns the number of up channels leaving level l.
+func (t *Topology) ChannelsAt(l int) int { return t.upChanAt[l] }
+
+// Equal reports structural equality of two topologies.
+func (t *Topology) Equal(o *Topology) bool {
+	if t.h != o.h {
+		return false
+	}
+	for i := 0; i < t.h; i++ {
+		if t.m[i] != o.m[i] || t.w[i] != o.w[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,144 @@
+package repro_test
+
+import (
+	"bytes"
+	"testing"
+
+	repro "repro"
+)
+
+// TestPipelineOfflineTablesAndTraces exercises the full
+// subnet-manager workflow end to end through the public API:
+// optimize routes offline, persist table + trace, reload both, replay
+// — and verify the replay is bit-identical to the direct run.
+func TestPipelineOfflineTablesAndTraces(t *testing.T) {
+	tree, err := repro.NewSlimmedTree(16, 16, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases, err := repro.CGPhases(128, 16*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	colored := repro.NewColored(tree, phases, repro.ColoredConfig{})
+
+	var pairs [][2]int
+	for _, ph := range phases {
+		for _, f := range ph.Flows {
+			pairs = append(pairs, [2]int{f.Src, f.Dst})
+		}
+	}
+	table, err := repro.SnapshotRoutes(tree, colored, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var tableBuf, traceBuf bytes.Buffer
+	if _, err := table.WriteTo(&tableBuf); err != nil {
+		t.Fatal(err)
+	}
+	trace, err := repro.TraceFromPhases(128, phases, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := repro.WriteTrace(&traceBuf, trace); err != nil {
+		t.Fatal(err)
+	}
+
+	loadedTable, err := repro.ReadRoutingTable(tree, &tableBuf, repro.NewDModK(tree))
+	if err != nil {
+		t.Fatal(err)
+	}
+	loadedTrace, err := repro.ReadTrace(&traceBuf)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg := repro.ReplayConfig{Net: repro.DefaultSimConfig()}
+	direct, err := repro.ReplayTrace(trace, tree, colored, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reloaded, err := repro.ReplayTrace(loadedTrace, tree, loadedTable, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct != reloaded {
+		t.Errorf("direct replay %d ns != reloaded replay %d ns", direct, reloaded)
+	}
+}
+
+// TestPipelineHeadlineNumbers asserts the paper's headline results
+// end to end on the simulated engine: CG's mod-k pathology, WRF's
+// mod-k optimality, and the proposal sitting between Random and
+// Colored on CG.
+func TestPipelineHeadlineNumbers(t *testing.T) {
+	tree, err := repro.NewSlimmedTree(16, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := repro.DefaultSimConfig()
+
+	cgPhases, err := repro.CGPhases(128, 24*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dmodk, err := repro.MeasuredPhasedSlowdown(tree, repro.NewDModK(tree), cgPhases, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dmodk < 2.0 || dmodk > 2.5 {
+		t.Errorf("CG d-mod-k slowdown %.2f, want ~2.2 (paper: >2)", dmodk)
+	}
+	rncad, err := repro.MeasuredPhasedSlowdown(tree, repro.NewRandomNCADown(tree, 1), cgPhases, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rncad >= dmodk {
+		t.Errorf("r-NCA-d %.2f not better than d-mod-k %.2f on CG", rncad, dmodk)
+	}
+
+	wrf := repro.WRF(16, 16, 24*1024)
+	wrfMod, err := repro.MeasuredSlowdown(tree, repro.NewDModK(tree), wrf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrfMod > 1.3 {
+		t.Errorf("WRF d-mod-k slowdown %.2f, want ~1", wrfMod)
+	}
+	wrfRand, err := repro.MeasuredSlowdown(tree, repro.NewRandom(tree, 1), wrf, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wrfRand <= wrfMod {
+		t.Errorf("WRF random %.2f not worse than d-mod-k %.2f", wrfRand, wrfMod)
+	}
+}
+
+// TestPipelineAnalyticMatchesSimulated verifies the two engines agree
+// on the slowdown ratios within tolerance across algorithms.
+func TestPipelineAnalyticMatchesSimulated(t *testing.T) {
+	tree, err := repro.NewSlimmedTree(16, 16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := repro.Shift(256, 37, 32*1024)
+	for _, algo := range []repro.Algorithm{
+		repro.NewDModK(tree),
+		repro.NewRandomNCAUp(tree, 3),
+	} {
+		analytic, err := repro.AnalyticSlowdown(tree, algo, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		simulated, err := repro.MeasuredSlowdown(tree, algo, p, repro.DefaultSimConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := simulated / analytic
+		if ratio < 0.85 || ratio > 1.15 {
+			t.Errorf("%s: simulated %.2f vs analytic %.2f (ratio %.2f) disagree",
+				algo.Name(), simulated, analytic, ratio)
+		}
+	}
+}

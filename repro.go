@@ -1,0 +1,262 @@
+// Package repro is the public API of a reproduction of
+//
+//	G. Rodriguez, C. Minkenberg, R. Beivide, R. P. Luijten,
+//	J. Labarta, M. Valero: "Oblivious Routing Schemes in Extended
+//	Generalized Fat Tree Networks", IEEE CLUSTER 2009.
+//
+// It re-exports the stable surface of the implementation packages:
+//
+//   - XGFT topologies (k-ary n-trees, slimmed trees, the full-crossbar
+//     reference) with the paper's Table I label algebra,
+//   - the oblivious routing family: S-mod-k, D-mod-k, Random, and the
+//     paper's proposals r-NCA-u / r-NCA-d, plus the pattern-aware
+//     Colored baseline,
+//   - communication patterns (WRF halo exchange, NAS CG phases, and
+//     classic synthetics) and their permutation algebra,
+//   - contention analysis (endpoint vs. network contention, analytic
+//     slowdown bounds) and the event-driven network simulator with the
+//     MPI trace replay engine,
+//   - the experiment harnesses that regenerate every table and figure
+//     of the paper.
+//
+// Quick start:
+//
+//	tree, _ := repro.NewSlimmedTree(16, 16, 10)
+//	algo := repro.NewRandomNCAUp(tree, 42)
+//	slow, _ := repro.AnalyticSlowdown(tree, algo, repro.WRF256())
+package repro
+
+import (
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/dimemas"
+	"repro/internal/eventq"
+	"repro/internal/experiments"
+	"repro/internal/pattern"
+	"repro/internal/stats"
+	"repro/internal/traces"
+	"repro/internal/venus"
+	"repro/internal/xgft"
+)
+
+// Topology is an extended generalized fat tree (see internal/xgft).
+type Topology = xgft.Topology
+
+// Route is a minimal up/down route through a chosen NCA.
+type Route = xgft.Route
+
+// Pattern is a communication pattern (a set of flows).
+type Pattern = pattern.Pattern
+
+// Flow is one point-to-point transfer of a pattern.
+type Flow = pattern.Flow
+
+// Perm is a (partial) permutation mapping.
+type Perm = pattern.Perm
+
+// Algorithm computes static routes for leaf pairs.
+type Algorithm = core.Algorithm
+
+// RoutingTable is a pre-computed set of routes for a pattern.
+type RoutingTable = core.Table
+
+// ColoredConfig tunes the pattern-aware baseline optimizer.
+type ColoredConfig = core.ColoredConfig
+
+// Analysis is a per-channel contention census of a routed pattern.
+type Analysis = contention.Analysis
+
+// SimTime is simulated time in nanoseconds.
+type SimTime = eventq.Time
+
+// SimConfig carries the network simulator parameters.
+type SimConfig = venus.Config
+
+// Message is one end-to-end transfer in the simulator.
+type Message = venus.Message
+
+// Sim is the event-driven network simulator.
+type Sim = venus.Sim
+
+// Trace is a replayable per-rank MPI operation trace.
+type Trace = dimemas.Trace
+
+// ReplayConfig parameterizes a trace replay.
+type ReplayConfig = dimemas.Config
+
+// Summary is a boxplot five-number summary.
+type Summary = stats.Summary
+
+// App is one of the paper's benchmark applications.
+type App = experiments.App
+
+// ExperimentOptions parameterizes figure sweeps.
+type ExperimentOptions = experiments.Options
+
+// Topology constructors.
+var (
+	// NewXGFT builds an XGFT(h; m...; w...).
+	NewXGFT = xgft.New
+	// NewKaryNTree builds a full-bisection k-ary n-tree.
+	NewKaryNTree = xgft.NewKaryNTree
+	// NewSlimmedTree builds the paper's XGFT(2;m1,m2;1,w2) family.
+	NewSlimmedTree = xgft.NewSlimmedTree
+	// NewFullCrossbar builds the ideal single-stage reference network.
+	NewFullCrossbar = xgft.NewFullCrossbar
+)
+
+// FixedTable is an explicit per-pair route map (the forwarding-table
+// form a subnet manager installs), serializable to a text format.
+type FixedTable = core.FixedTable
+
+// Routing algorithm constructors.
+var (
+	// NewSModK is the classic source-mod-k self-routing scheme.
+	NewSModK = core.NewSModK
+	// NewDModK is the destination-mod-k scheme.
+	NewDModK = core.NewDModK
+	// NewRandom assigns every pair an independent uniform NCA.
+	NewRandom = core.NewRandom
+	// NewRandomNCAUp is the paper's proposal r-NCA-u.
+	NewRandomNCAUp = core.NewRandomNCAUp
+	// NewRandomNCADown is the paper's proposal r-NCA-d.
+	NewRandomNCADown = core.NewRandomNCADown
+	// NewColored is the pattern-aware baseline.
+	NewColored = core.NewColored
+	// NewAlgorithmByName resolves an algorithm by its paper name.
+	NewAlgorithmByName = core.NewByName
+	// AlgorithmNames lists the selectable schemes.
+	AlgorithmNames = core.AlgorithmNames
+	// BuildRoutingTable computes and validates routes for a pattern.
+	BuildRoutingTable = core.BuildTable
+	// AutoModK picks S-mod-k or D-mod-k from the pattern's asymmetry
+	// (the paper's §VII-C heuristic).
+	AutoModK = core.AutoModK
+	// NewFixedTable builds an empty explicit route table.
+	NewFixedTable = core.NewFixedTable
+	// SnapshotRoutes freezes an algorithm's routes for given pairs.
+	SnapshotRoutes = core.Snapshot
+	// ReadRoutingTable parses a serialized fixed table.
+	ReadRoutingTable = core.ReadTable
+	// NewUnbalancedNCAUp / Down are the ablation variants of the
+	// relabeling family (uniform instead of balanced maps).
+	NewUnbalancedNCAUp   = core.NewUnbalancedNCAUp
+	NewUnbalancedNCADown = core.NewUnbalancedNCADown
+	// NewLevelWise is the optimal permutation scheduler of the
+	// paper's ref. [15] (Ding et al.), built on König edge coloring.
+	NewLevelWise = core.NewLevelWise
+	// CompileLFT compiles a destination-based scheme into per-switch
+	// forwarding tables (InfiniBand LFT form); IsDestinationBased
+	// tests whether a scheme admits them.
+	CompileLFT         = core.CompileLFT
+	IsDestinationBased = core.IsDestinationBased
+	// ColorBipartite / ColorBipartiteBalanced expose the coloring
+	// engine for custom schedulers.
+	ColorBipartite         = core.ColorBipartite
+	ColorBipartiteBalanced = core.ColorBipartiteBalanced
+)
+
+// Pattern constructors.
+var (
+	// NewPattern returns an empty pattern over n endpoints.
+	NewPattern = pattern.New
+	// WRF builds the WRF halo exchange on a rows x cols mesh.
+	WRF = pattern.WRF
+	// WRF256 is the paper's WRF-256 instance.
+	WRF256 = pattern.WRF256
+	// CGPhases builds the NAS CG phase sequence.
+	CGPhases = pattern.CGPhases
+	// CGD128Phases is the paper's CG.D-128 instance.
+	CGD128Phases = pattern.CGD128Phases
+	// Shift, Transpose, BitReversal, Tornado, AllToAll, UniformRandom
+	// are classic synthetic patterns.
+	Shift         = pattern.Shift
+	Transpose     = pattern.Transpose
+	BitReversal   = pattern.BitReversal
+	Tornado       = pattern.Tornado
+	AllToAll      = pattern.AllToAll
+	UniformRandom = pattern.UniformRandom
+)
+
+// Contention analysis.
+var (
+	// AnalyzeContention computes the per-channel census of a routed
+	// pattern.
+	AnalyzeContention = contention.Analyze
+	// AnalyticSlowdown is the congestion-bound slowdown of one phase.
+	AnalyticSlowdown = contention.Slowdown
+	// AnalyticPhasedSlowdown sums dependent phases.
+	AnalyticPhasedSlowdown = contention.PhasedSlowdown
+	// NCAHistogram counts routes per NCA (Fig. 4 view).
+	NCAHistogram = contention.NCAHistogram
+	// VerifyDeadlockFree certifies a route set's channel dependency
+	// graph is acyclic (§V minimal deadlock-free paths).
+	VerifyDeadlockFree = contention.VerifyDeadlockFree
+)
+
+// Adaptive routing (per-segment least-backlog port selection, the
+// comparison point of the adaptive-vs-oblivious literature the paper
+// cites).
+var (
+	SimulatePatternAdaptive        = venus.RunPatternAdaptive
+	MeasuredSlowdownAdaptive       = venus.MeasuredSlowdownAdaptive
+	MeasuredPhasedSlowdownAdaptive = venus.MeasuredPhasedSlowdownAdaptive
+)
+
+// Simulation and replay.
+var (
+	// DefaultSimConfig returns the paper's network parameters.
+	DefaultSimConfig = venus.DefaultConfig
+	// NewSim builds a network simulator instance.
+	NewSim = venus.New
+	// SimulatePattern runs a pattern to completion on a topology.
+	SimulatePattern = venus.RunPattern
+	// MeasuredSlowdown is the simulated slowdown of one phase.
+	MeasuredSlowdown = venus.MeasuredSlowdown
+	// MeasuredPhasedSlowdown sums dependent phases.
+	MeasuredPhasedSlowdown = venus.MeasuredPhasedSlowdown
+	// ReplayTrace replays an MPI trace over the simulator.
+	ReplayTrace = dimemas.Replay
+	// ReplaySlowdown is the application-level simulated slowdown.
+	ReplaySlowdown = dimemas.MeasuredSlowdown
+	// WRFTrace and CGTrace generate the synthetic application traces.
+	WRFTrace = traces.WRF
+	CGTrace  = traces.CG
+	// TraceFromPhases lowers communication phases into a trace.
+	TraceFromPhases = traces.FromPhases
+	// WriteTrace / ReadTrace (de)serialize traces (JSON lines).
+	WriteTrace = dimemas.WriteTrace
+	ReadTrace  = dimemas.ReadTrace
+	// Rank placement strategies for replays.
+	LinearMapping     = dimemas.LinearMapping
+	RoundRobinMapping = dimemas.RoundRobinMapping
+	RandomMapping     = dimemas.RandomMapping
+)
+
+// Experiments (figure/table regeneration).
+var (
+	// WRFApp and CGApp are the paper's two workloads.
+	WRFApp = experiments.WRFApp
+	CGApp  = experiments.CGApp
+	// Figure2, Figure3, Figure4, Figure5 and Table1 regenerate the
+	// corresponding paper artifacts.
+	Figure2 = experiments.Figure2
+	Figure3 = experiments.Figure3
+	Figure4 = experiments.Figure4
+	Figure5 = experiments.Figure5
+	Table1  = experiments.Table1
+	// DeepTreeSweep and BalanceAblation are the extension studies
+	// (three-level XGFT generalization, balanced-map ablation).
+	DeepTreeSweep   = experiments.DeepTreeSweep
+	BalanceAblation = experiments.BalanceAblation
+	// Summarize computes boxplot statistics.
+	Summarize = stats.Summarize
+)
+
+// Engine names for ExperimentOptions.
+const (
+	// EngineAnalytic selects the fast congestion-bound model.
+	EngineAnalytic = experiments.Analytic
+	// EngineSimulated selects the full replay + simulation pipeline.
+	EngineSimulated = experiments.Simulated
+)

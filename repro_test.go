@@ -1,0 +1,89 @@
+package repro_test
+
+import (
+	"testing"
+
+	repro "repro"
+)
+
+// TestFacadeEndToEnd exercises the public API the way the README's
+// quickstart does: build a tree, route an application pattern, compare
+// analytic and simulated slowdowns.
+func TestFacadeEndToEnd(t *testing.T) {
+	tree, err := repro.NewSlimmedTree(16, 16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.InnerSwitches() != 26 {
+		t.Errorf("switches = %d, want 26", tree.InnerSwitches())
+	}
+	algo := repro.NewRandomNCAUp(tree, 42)
+	p := repro.WRF256()
+	slow, err := repro.AnalyticSlowdown(tree, algo, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if slow < 1 {
+		t.Errorf("slowdown %.2f < 1", slow)
+	}
+	tbl, err := repro.BuildRoutingTable(tree, algo, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := repro.AnalyzeContention(tree, p, tbl.Routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MaxEndpointContention() != 2 {
+		t.Errorf("WRF endpoint contention = %d, want 2", a.MaxEndpointContention())
+	}
+}
+
+func TestFacadeSimulation(t *testing.T) {
+	tree, err := repro.NewSlimmedTree(16, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	phases, err := repro.CGPhases(128, 16*1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := repro.MeasuredPhasedSlowdown(tree, repro.NewDModK(tree), phases, repro.DefaultSimConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 1.8 {
+		t.Errorf("CG measured slowdown %.2f, want pathology > 1.8", s)
+	}
+}
+
+func TestFacadeAlgorithmRegistry(t *testing.T) {
+	tree, err := repro.NewKaryNTree(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range repro.AlgorithmNames() {
+		if name == "colored" || name == "level-wise" {
+			continue // pattern-aware: need phases
+		}
+		algo, err := repro.NewAlgorithmByName(name, tree, 7, nil)
+		if err != nil {
+			t.Fatalf("NewAlgorithmByName(%q): %v", name, err)
+		}
+		r := algo.Route(0, 63)
+		if !r.VerifyConnects(tree) {
+			t.Errorf("%s route does not connect", name)
+		}
+	}
+}
+
+func TestFacadeExperiments(t *testing.T) {
+	opt := repro.ExperimentOptions{Engine: repro.EngineAnalytic, Seeds: 3, W2Values: []int{16}}
+	rows, err := repro.Figure2(repro.CGApp(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0].DModK < 2 {
+		t.Errorf("figure 2 rows = %+v", rows)
+	}
+}
