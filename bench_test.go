@@ -22,12 +22,16 @@ import (
 // keep iterations meaningful while preserving every contention ratio;
 // cmd/experiments reproduces the full-size sweeps.
 
-// benchOpt is the figure-sweep configuration used by benchmarks.
+// benchOpt is the figure-sweep configuration used by benchmarks:
+// sequential and uncached, so iterations measure the work itself
+// rather than pool scaling or memoization (see
+// internal/experiments/bench_test.go for those).
 func benchOpt() experiments.Options {
 	return experiments.Options{
 		Engine:      experiments.Analytic,
 		Seeds:       10,
-		Parallelism: 1, // benchmark the work, not the pool
+		Parallelism: 1,
+		Cache:       core.NewTableCache(0),
 	}
 }
 
@@ -65,7 +69,7 @@ func BenchmarkFig2bCG(b *testing.B) {
 
 func BenchmarkFig3CGDecomposition(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure3(); err != nil {
+		if _, err := experiments.Figure3(benchOpt()); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -75,7 +79,7 @@ func BenchmarkFig4Distribution(b *testing.B) {
 	for _, w2 := range []int{16, 10} {
 		b.Run(fmt.Sprintf("w2=%d", w2), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := experiments.Figure4(w2, 5); err != nil {
+				if _, err := experiments.Figure4(w2, experiments.Options{Seeds: 5, Parallelism: 1, Cache: core.NewTableCache(0)}); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -366,7 +370,7 @@ func BenchmarkAblationColoredPasses(b *testing.B) {
 // generalization sweep.
 func BenchmarkExtensionDeepTree(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.DeepTreeSweep(3, 16*1024); err != nil {
+		if _, err := experiments.DeepTreeSweep(experiments.Options{Seeds: 3, MessageBytes: 16 * 1024, Parallelism: 1, Cache: core.NewTableCache(0)}); err != nil {
 			b.Fatal(err)
 		}
 	}

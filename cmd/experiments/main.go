@@ -11,12 +11,18 @@
 // By default the fast analytic engine is used; -engine simulated runs
 // the full trace-replay pipeline (minutes with paper message sizes;
 // use -bytes to scale down). -csv switches the sweep output format.
+//
+// Sweeps fan their independent (topology, algorithm, pattern, seed)
+// cells out over -parallel workers (default: all CPUs) and reuse
+// routing tables across figures through a process-wide cache;
+// -progress reports cell completion on stderr.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -40,7 +46,8 @@ func main() {
 		engine   = flag.String("engine", "analytic", "analytic or simulated")
 		seeds    = flag.Int("seeds", 40, "seeds per boxplot (paper: 40-60)")
 		bytes    = flag.Int64("bytes", 0, "message size override (0 = paper sizes)")
-		par      = flag.Int("parallel", 4, "concurrent sweep points")
+		par      = flag.Int("parallel", runtime.GOMAXPROCS(0), "concurrent sweep cells")
+		progress = flag.Bool("progress", false, "report sweep-cell completion on stderr")
 		csv      = flag.Bool("csv", false, "CSV output for sweeps")
 	)
 	flag.Parse()
@@ -51,8 +58,21 @@ func main() {
 		MessageBytes: *bytes,
 		Parallelism:  *par,
 	}
+	if *progress {
+		opt.Progress = func(done, total int) {
+			fmt.Fprintf(os.Stderr, "\r%d/%d cells", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
 	any := false
 	fail := func(err error) {
+		if *progress {
+			// Terminate a partially-written progress line so the
+			// error starts on its own line.
+			fmt.Fprintln(os.Stderr)
+		}
 		fmt.Fprintln(os.Stderr, "experiments:", err)
 		os.Exit(2)
 	}
@@ -105,7 +125,7 @@ func main() {
 	}
 	if *all || *fig3 {
 		done := section("Figure 3 — CG.D-128 traffic")
-		res, err := experiments.Figure3()
+		res, err := experiments.Figure3(opt)
 		if err != nil {
 			fail(err)
 		}
@@ -114,7 +134,7 @@ func main() {
 	}
 	if *all || *fig4a {
 		done := section("Figure 4a — routes per NCA, w2=16")
-		res, err := experiments.Figure4(16, *seeds)
+		res, err := experiments.Figure4(16, opt)
 		if err != nil {
 			fail(err)
 		}
@@ -123,7 +143,7 @@ func main() {
 	}
 	if *all || *fig4b {
 		done := section("Figure 4b — routes per NCA, w2=10")
-		res, err := experiments.Figure4(10, *seeds)
+		res, err := experiments.Figure4(10, opt)
 		if err != nil {
 			fail(err)
 		}
@@ -160,7 +180,7 @@ func main() {
 	}
 	if *all || *ext {
 		done := section("Extension — three-level XGFT sweep")
-		rows, err := experiments.DeepTreeSweep(*seeds, *bytes)
+		rows, err := experiments.DeepTreeSweep(opt)
 		if err != nil {
 			fail(err)
 		}
@@ -170,7 +190,7 @@ func main() {
 	if *all || *ablate {
 		done := section("Ablation — balanced vs uniform relabeling")
 		for _, w2 := range []int{10, 6} {
-			row, err := experiments.BalanceAblation(w2, *seeds)
+			row, err := experiments.BalanceAblation(w2, opt)
 			if err != nil {
 				fail(err)
 			}
@@ -181,7 +201,7 @@ func main() {
 	}
 	if *all || *adaptive {
 		done := section("Extension — adaptive vs oblivious")
-		rows, err := experiments.AdaptiveComparison(*bytes)
+		rows, err := experiments.AdaptiveComparison(opt)
 		if err != nil {
 			fail(err)
 		}
@@ -191,5 +211,12 @@ func main() {
 	if !any {
 		flag.Usage()
 		os.Exit(2)
+	}
+	if *progress {
+		cache := experiments.SharedTableCache()
+		hits, misses := cache.Stats()
+		algoHits, algoMisses := cache.MemoStats()
+		fmt.Fprintf(os.Stderr, "routing-table cache: %d hits, %d misses, %d tables retained; algorithm memo: %d hits, %d misses\n",
+			hits, misses, cache.Len(), algoHits, algoMisses)
 	}
 }

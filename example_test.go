@@ -1,0 +1,61 @@
+package repro_test
+
+import (
+	"fmt"
+
+	repro "repro"
+)
+
+// ExampleNewSlimmedTree builds the paper's central topology family:
+// the 16-ary 2-tree progressively slimmed at the top level.
+func ExampleNewSlimmedTree() {
+	tree, err := repro.NewSlimmedTree(16, 16, 10)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(tree)
+	fmt.Println("leaves:", tree.Leaves())
+	fmt.Println("inner switches:", tree.InnerSwitches())
+	// Output:
+	// XGFT(2;16,16;1,10)
+	// leaves: 256
+	// inner switches: 26
+}
+
+// ExampleAnalyticSlowdown is the README quickstart: route the WRF-256
+// halo exchange with the paper's r-NCA-u proposal and bound its
+// slowdown against the ideal full crossbar.
+func ExampleAnalyticSlowdown() {
+	tree, _ := repro.NewSlimmedTree(16, 16, 10)
+	algo := repro.NewRandomNCAUp(tree, 42)
+	slow, err := repro.AnalyticSlowdown(tree, algo, repro.WRF256())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("WRF-256 slowdown on %s under %s: %.2f\n", tree, algo.Name(), slow)
+	// Output:
+	// WRF-256 slowdown on XGFT(2;16,16;1,10) under r-NCA-u: 2.00
+}
+
+// ExampleFigure2 runs a small parallel Fig. 2b sweep: the cells fan
+// out over four workers, and the result is byte-identical to a
+// Parallelism: 1 run (every cell derives its randomness from its own
+// coordinates).
+func ExampleFigure2() {
+	opt := repro.ExperimentOptions{
+		Seeds:       5,
+		W2Values:    []int{16, 8},
+		Parallelism: 4,
+	}
+	rows, err := repro.Figure2(repro.CGApp(), opt)
+	if err != nil {
+		panic(err)
+	}
+	for _, r := range rows {
+		fmt.Printf("w2=%2d  d-mod-k=%.2f  random=%.2f  colored=%.2f\n",
+			r.W2, r.DModK, r.Random, r.Colored)
+	}
+	// Output:
+	// w2=16  d-mod-k=2.20  random=1.60  colored=1.00
+	// w2= 8  d-mod-k=2.20  random=1.80  colored=1.20
+}

@@ -14,7 +14,13 @@ import (
 // (the paper's normalization, §VI-B). The result is >= 1 up to
 // floating-point for any minimal routing.
 func Slowdown(t *xgft.Topology, algo core.Algorithm, p *pattern.Pattern) (float64, error) {
-	tbl, err := core.BuildTable(t, algo, p)
+	return SlowdownCached(nil, t, algo, p)
+}
+
+// SlowdownCached is Slowdown with the routing table served from (and
+// stored into) the given cache; a nil cache recomputes.
+func SlowdownCached(c *core.TableCache, t *xgft.Topology, algo core.Algorithm, p *pattern.Pattern) (float64, error) {
+	tbl, err := c.Build(t, algo, p)
 	if err != nil {
 		return 0, err
 	}
@@ -34,12 +40,18 @@ func Slowdown(t *xgft.Topology, algo core.Algorithm, p *pattern.Pattern) (float6
 // the phases divided by the total crossbar bound. Phases are assumed
 // separated by synchronization, so their times add.
 func PhasedSlowdown(t *xgft.Topology, algo core.Algorithm, phases []*pattern.Pattern) (float64, error) {
+	return PhasedSlowdownCached(nil, t, algo, phases)
+}
+
+// PhasedSlowdownCached is PhasedSlowdown with table memoization; a
+// nil cache recomputes.
+func PhasedSlowdownCached(c *core.TableCache, t *xgft.Topology, algo core.Algorithm, phases []*pattern.Pattern) (float64, error) {
 	if len(phases) == 0 {
 		return 0, fmt.Errorf("contention: no phases")
 	}
 	var network, crossbar int64
 	for _, p := range phases {
-		tbl, err := core.BuildTable(t, algo, p)
+		tbl, err := c.Build(t, algo, p)
 		if err != nil {
 			return 0, err
 		}
@@ -61,10 +73,16 @@ func PhasedSlowdown(t *xgft.Topology, algo core.Algorithm, phases []*pattern.Pat
 // the topology and on the crossbar, for phase-resolved reporting
 // (Fig. 3's "fifth phase takes eight times longer" analysis).
 func PhaseBounds(t *xgft.Topology, algo core.Algorithm, phases []*pattern.Pattern) (network, crossbar []int64, err error) {
+	return PhaseBoundsCached(nil, t, algo, phases)
+}
+
+// PhaseBoundsCached is PhaseBounds with table memoization; a nil
+// cache recomputes.
+func PhaseBoundsCached(c *core.TableCache, t *xgft.Topology, algo core.Algorithm, phases []*pattern.Pattern) (network, crossbar []int64, err error) {
 	network = make([]int64, len(phases))
 	crossbar = make([]int64, len(phases))
 	for i, p := range phases {
-		tbl, err := core.BuildTable(t, algo, p)
+		tbl, err := c.Build(t, algo, p)
 		if err != nil {
 			return nil, nil, err
 		}

@@ -1,0 +1,186 @@
+package core
+
+import (
+	"fmt"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/xgft"
+)
+
+func cacheTestTopo(t *testing.T) *xgft.Topology {
+	t.Helper()
+	tp, err := xgft.NewSlimmedTree(16, 16, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestTableCacheHitsAndEquivalence(t *testing.T) {
+	tp := cacheTestTopo(t)
+	p := pattern.WRF256()
+	c := NewTableCache(16)
+
+	algo := NewRandomNCAUp(tp, 7)
+	tbl1, err := c.Build(tp, algo, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fresh equal-seed instance on an equal-spec topology must hit.
+	tp2, _ := xgft.NewSlimmedTree(16, 16, 10)
+	tbl2, err := c.Build(tp2, NewRandomNCAUp(tp2, 7), p.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl1 != tbl2 {
+		t.Error("equal (topo, algo, pattern) triple did not hit the cache")
+	}
+	if hits, misses := c.Stats(); hits != 1 || misses != 1 {
+		t.Errorf("stats = %d hits / %d misses, want 1/1", hits, misses)
+	}
+	// Cached routes must equal a fresh computation.
+	fresh, err := BuildTable(tp, NewRandomNCAUp(tp, 7), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tbl1.Routes, fresh.Routes) {
+		t.Error("cached routes differ from fresh BuildTable")
+	}
+}
+
+func TestTableCacheKeysSeparate(t *testing.T) {
+	tp := cacheTestTopo(t)
+	p := pattern.WRF256()
+	c := NewTableCache(64)
+	distinct := []Algorithm{
+		NewSModK(tp),
+		NewDModK(tp),
+		NewRandom(tp, 1),
+		NewRandom(tp, 2),
+		NewRandomNCAUp(tp, 1),
+		NewRandomNCADown(tp, 1),
+		NewUnbalancedNCAUp(tp, 1),
+	}
+	for _, algo := range distinct {
+		if _, err := c.Build(tp, algo, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if hits, misses := c.Stats(); hits != 0 || misses != uint64(len(distinct)) {
+		t.Errorf("distinct algorithms aliased: %d hits / %d misses", hits, misses)
+	}
+	// Different w2 must not alias either.
+	slim, _ := xgft.NewSlimmedTree(16, 16, 9)
+	if _, err := c.Build(slim, NewSModK(slim), p); err != nil {
+		t.Fatal(err)
+	}
+	if hits, _ := c.Stats(); hits != 0 {
+		t.Error("different topology spec hit the cache")
+	}
+}
+
+func TestTableCacheCapacityAndPassThrough(t *testing.T) {
+	tp := cacheTestTopo(t)
+	p := pattern.WRF256()
+	c := NewTableCache(2)
+	for seed := uint64(1); seed <= 4; seed++ {
+		if _, err := c.Build(tp, NewRandom(tp, seed), p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.Len() != 2 {
+		t.Errorf("capacity 2 cache retains %d entries", c.Len())
+	}
+	c.Purge()
+	if c.Len() != 0 {
+		t.Errorf("purged cache retains %d entries", c.Len())
+	}
+
+	// Pass-through and nil caches never store but still build.
+	for _, pc := range []*TableCache{NewTableCache(0), nil} {
+		tbl, err := pc.Build(tp, NewSModK(tp), p)
+		if err != nil || tbl == nil {
+			t.Fatalf("pass-through build failed: %v", err)
+		}
+		if pc.Len() != 0 {
+			t.Error("pass-through cache stored an entry")
+		}
+	}
+
+	// Non-memoizable algorithms (no CacheKey) bypass storage.
+	c2 := NewTableCache(8)
+	lw, err := NewLevelWise(tp, []*pattern.Pattern{p})
+	if err != nil {
+		t.Skipf("levelwise unavailable on this pattern: %v", err)
+	}
+	if _, err := c2.Build(tp, lw, p); err != nil {
+		t.Fatal(err)
+	}
+	if c2.Len() != 0 {
+		t.Error("non-memoizable algorithm was cached")
+	}
+}
+
+// TestTableCacheConcurrent is the race-mode test of the cache: many
+// goroutines build overlapping keys; run with -race to check the
+// synchronization (satellite of the parallel-engine PR).
+func TestTableCacheConcurrent(t *testing.T) {
+	tp := cacheTestTopo(t)
+	p := pattern.WRF256()
+	c := NewTableCache(32)
+	var wg sync.WaitGroup
+	errs := make(chan error, 64)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 8; i++ {
+				seed := uint64(i%4) + 1 // overlapping keys across goroutines
+				tbl, err := c.Build(tp, NewRandomNCAUp(tp, seed), p)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if len(tbl.Routes) != len(p.Flows) {
+					errs <- fmt.Errorf("goroutine %d: truncated table", g)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestRelabelFamilyConcurrentRoutes exercises the lazily-built
+// balanced maps from many goroutines sharing one algorithm instance —
+// the per-worker safety the parallel sweep engine relies on when a
+// cached table's algorithm is reused. Run with -race.
+func TestRelabelFamilyConcurrentRoutes(t *testing.T) {
+	tp := cacheTestTopo(t)
+	algo := NewRandomNCAUp(tp, 3)
+	n := tp.Leaves()
+	want := algo.Route(1, 200)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				s := (g*131 + i) % n
+				d := (g*17 + i*7 + 1) % n
+				_ = algo.Route(s, d)
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := algo.Route(1, 200); !reflect.DeepEqual(got, want) {
+		t.Errorf("route changed under concurrency: %v -> %v", want, got)
+	}
+}

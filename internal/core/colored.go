@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sort"
 
 	"repro/internal/pattern"
@@ -19,6 +20,7 @@ type Colored struct {
 	topo     *xgft.Topology
 	fallback Algorithm
 	routes   map[[2]int][]int
+	cacheKey string
 }
 
 // ColoredConfig tunes the optimizer.
@@ -58,11 +60,26 @@ func NewColored(t *xgft.Topology, phases []*pattern.Pattern, cfg ColoredConfig) 
 	for _, ph := range phases {
 		c.optimizePhase(ph, cfg)
 	}
+	id := mix(uint64(cfg.MaxPasses), uint64(cfg.MaxCandidates), cfg.Seed)
+	var totalBytes int64
+	for _, ph := range phases {
+		id = mix(id, ph.Fingerprint())
+		totalBytes += ph.TotalBytes()
+	}
+	// Cheap exact invariants (phase count, byte total) ride along with
+	// the hash so a 64-bit collision alone cannot alias two keys,
+	// matching the tableKey design.
+	c.cacheKey = fmt.Sprintf("colored/%d/%#x/%#x", len(phases), totalBytes, id)
 	return c
 }
 
 // Name implements Algorithm.
 func (c *Colored) Name() string { return "colored" }
+
+// CacheKey marks Colored routes as memoizable: the optimizer is
+// deterministic in (topology, input phases, config), all of which the
+// key encodes.
+func (c *Colored) CacheKey() string { return c.cacheKey }
 
 // Route implements Algorithm.
 func (c *Colored) Route(src, dst int) xgft.Route {

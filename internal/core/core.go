@@ -15,6 +15,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/hashutil"
 	"repro/internal/pattern"
 	"repro/internal/xgft"
 )
@@ -34,21 +35,10 @@ type Algorithm interface {
 // It is the deterministic keyed stream behind Random and the
 // relabeling family, so routing tables are reproducible from a seed
 // without storing per-pair state.
-func splitmix64(x uint64) uint64 {
-	x += 0x9e3779b97f4a7c15
-	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
-	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
-	return x ^ (x >> 31)
-}
+func splitmix64(x uint64) uint64 { return hashutil.Splitmix64(x) }
 
 // mix hashes a tuple of values into a well-distributed 64-bit key.
-func mix(vals ...uint64) uint64 {
-	h := uint64(0x8a5cd789635d2dff)
-	for _, v := range vals {
-		h = splitmix64(h ^ v)
-	}
-	return h
-}
+func mix(vals ...uint64) uint64 { return hashutil.Mix(vals...) }
 
 // uniform maps a hash to [0, n) without the bias of a plain modulus
 // (multiply-shift reduction).

@@ -29,6 +29,10 @@ func NewDModK(t *xgft.Topology) Algorithm {
 
 func (m *modK) Name() string { return m.name }
 
+// CacheKey marks mod-k routes as memoizable: they are a pure function
+// of the topology spec and the scheme name.
+func (m *modK) CacheKey() string { return m.name }
+
 func (m *modK) Route(src, dst int) xgft.Route {
 	l := m.topo.NCALevel(src, dst)
 	r := xgft.Route{Src: src, Dst: dst}

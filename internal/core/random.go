@@ -1,6 +1,10 @@
 package core
 
-import "repro/internal/xgft"
+import (
+	"fmt"
+
+	"repro/internal/xgft"
+)
 
 // randomNCA implements the static Random routing of Greenberg &
 // Leiserson (and the Myrinet/InfiniBand default the paper describes):
@@ -20,6 +24,10 @@ func NewRandom(t *xgft.Topology, seed uint64) Algorithm {
 }
 
 func (r *randomNCA) Name() string { return "random" }
+
+// CacheKey marks Random routes as memoizable: they are a pure hash of
+// (seed, pair), so the seed identifies the whole table.
+func (r *randomNCA) CacheKey() string { return fmt.Sprintf("random/%#x", r.seed) }
 
 func (r *randomNCA) Route(src, dst int) xgft.Route {
 	l := r.topo.NCALevel(src, dst)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 
 	"repro/internal/xgft"
@@ -67,6 +68,12 @@ func newRelabelFamily(t *xgft.Topology, seed uint64, useSource bool, name string
 }
 
 func (f *relabelFamily) Name() string { return f.name }
+
+// CacheKey marks relabeling-family routes as memoizable: the balanced
+// maps are a deterministic stream of (seed, level, subtree), so name
+// plus seed identifies the table. The unbalanced ablation inherits
+// this method with its own name field, so the two never alias.
+func (f *relabelFamily) CacheKey() string { return fmt.Sprintf("%s/%#x", f.name, f.seed) }
 
 func (f *relabelFamily) Route(src, dst int) xgft.Route {
 	l := f.topo.NCALevel(src, dst)

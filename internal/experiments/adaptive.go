@@ -26,10 +26,14 @@ type AdaptiveRow struct {
 // (Gomez et al.): local adaptive decisions beat bad oblivious
 // assignments on adversarial regular patterns, but do not beat a good
 // oblivious scheme on patterns it routes conflict-free.
-func AdaptiveComparison(bytes int64) ([]AdaptiveRow, error) {
-	if bytes <= 0 {
-		bytes = 32 * 1024
+// Options.MessageBytes (default 32 KiB) sets the per-flow size;
+// Parallelism and Progress apply to the (workload, w2) cells.
+func AdaptiveComparison(opt Options) ([]AdaptiveRow, error) {
+	if opt.MessageBytes <= 0 {
+		opt.MessageBytes = 32 * 1024
 	}
+	opt = opt.withDefaults()
+	bytes := opt.MessageBytes
 	cfg := venus.DefaultConfig()
 	type workload struct {
 		name   string
@@ -43,28 +47,36 @@ func AdaptiveComparison(bytes int64) ([]AdaptiveRow, error) {
 		{"wrf-halo", []*pattern.Pattern{pattern.WRF(16, 16, bytes)}},
 		{"cg-transpose", []*pattern.Pattern{cgT}},
 	}
-	var rows []AdaptiveRow
-	for _, wl := range workloads {
-		for _, w2 := range []int{16, 8} {
-			tp, err := xgft.NewSlimmedTree(16, 16, w2)
-			if err != nil {
-				return nil, err
-			}
-			row := AdaptiveRow{Workload: wl.name, W2: w2}
-			if row.Adaptive, err = venus.MeasuredPhasedSlowdownAdaptive(tp, wl.phases, cfg); err != nil {
-				return nil, err
-			}
-			if row.DModK, err = venus.MeasuredPhasedSlowdown(tp, core.NewDModK(tp), wl.phases, cfg); err != nil {
-				return nil, err
-			}
-			if row.RNCADn, err = venus.MeasuredPhasedSlowdown(tp, core.NewRandomNCADown(tp, 1), wl.phases, cfg); err != nil {
-				return nil, err
-			}
-			if row.Random, err = venus.MeasuredPhasedSlowdown(tp, core.NewRandom(tp, 1), wl.phases, cfg); err != nil {
-				return nil, err
-			}
-			rows = append(rows, row)
+	w2s := []int{16, 8}
+	rows := make([]AdaptiveRow, len(workloads)*len(w2s))
+	// Each (workload, w2) point is an independent cell: every
+	// simulated slowdown constructs its own venus.Sim, so points can
+	// run on separate workers.
+	err = opt.run(len(rows), func(i int) error {
+		wl := workloads[i/len(w2s)]
+		w2 := w2s[i%len(w2s)]
+		tp, err := xgft.NewSlimmedTree(16, 16, w2)
+		if err != nil {
+			return err
 		}
+		row := AdaptiveRow{Workload: wl.name, W2: w2}
+		if row.Adaptive, err = venus.MeasuredPhasedSlowdownAdaptive(tp, wl.phases, cfg); err != nil {
+			return err
+		}
+		if row.DModK, err = venus.MeasuredPhasedSlowdown(tp, core.NewDModK(tp), wl.phases, cfg); err != nil {
+			return err
+		}
+		if row.RNCADn, err = venus.MeasuredPhasedSlowdown(tp, core.NewRandomNCADown(tp, 1), wl.phases, cfg); err != nil {
+			return err
+		}
+		if row.Random, err = venus.MeasuredPhasedSlowdown(tp, core.NewRandom(tp, 1), wl.phases, cfg); err != nil {
+			return err
+		}
+		rows[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -7,7 +7,7 @@ import (
 )
 
 func TestAdaptiveComparisonShapes(t *testing.T) {
-	rows, err := AdaptiveComparison(8 * 1024)
+	rows, err := AdaptiveComparison(Options{MessageBytes: 8 * 1024})
 	if err != nil {
 		t.Fatal(err)
 	}

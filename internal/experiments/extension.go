@@ -32,69 +32,89 @@ type DeepRow struct {
 	Random   stats.Summary
 }
 
+// deepSchemes enumerates the sweep's routing schemes in result
+// order: the two fixed baselines, then the three randomized schemes.
+// Fixed schemes ignore the seed argument (they are averaged over the
+// per-seed permutations instead).
+var deepSchemes = []func(tp *xgft.Topology, seed uint64) core.Algorithm{
+	func(tp *xgft.Topology, _ uint64) core.Algorithm { return core.NewSModK(tp) },
+	func(tp *xgft.Topology, _ uint64) core.Algorithm { return core.NewDModK(tp) },
+	func(tp *xgft.Topology, s uint64) core.Algorithm { return core.NewRandomNCAUp(tp, s) },
+	func(tp *xgft.Topology, s uint64) core.Algorithm { return core.NewRandomNCADown(tp, s) },
+	func(tp *xgft.Topology, s uint64) core.Algorithm { return core.NewRandom(tp, s) },
+}
+
 // DeepTreeSweep evaluates the routing family on three-level slimmed
 // trees XGFT(3;8,8,8;1,w,w), w = 8..1, under a workload of random
 // permutations (the regime where the paper's analysis predicts the
 // relabeling family matches Random's balance while keeping mod-k's
-// concentration). Slowdowns are analytic; seeds parameterize both the
-// permutations and the randomized algorithms.
-func DeepTreeSweep(seeds int, bytes int64) ([]DeepRow, error) {
-	if seeds <= 0 {
-		seeds = 10
+// concentration). Slowdowns are analytic; Options.Seeds (default 10
+// here) parameterizes both the permutations and the randomized
+// algorithms, Options.MessageBytes (default 64 KiB) the per-flow
+// size. Every (w, scheme, seed) triple is an independent sweep cell.
+func DeepTreeSweep(opt Options) ([]DeepRow, error) {
+	if opt.Seeds <= 0 {
+		opt.Seeds = 10
 	}
-	if bytes <= 0 {
-		bytes = 64 * 1024
+	if opt.MessageBytes <= 0 {
+		opt.MessageBytes = 64 * 1024
 	}
-	var rows []DeepRow
-	for w := 8; w >= 1; w-- {
+	opt = opt.withDefaults()
+	seeds := opt.Seeds
+	ws := []int{8, 7, 6, 5, 4, 3, 2, 1}
+	topos := make([]*xgft.Topology, len(ws))
+	perms := make([][]*pattern.Pattern, len(ws))
+	for i, w := range ws {
 		tp, err := xgft.New(3, []int{8, 8, 8}, []int{1, w, w})
 		if err != nil {
 			return nil, err
 		}
-		row := DeepRow{W: w, Topology: tp.String(), Switches: tp.InnerSwitches()}
-		perms := make([]*pattern.Pattern, seeds)
+		topos[i] = tp
+		// Permutations are drawn sequentially from per-seed RNGs, so
+		// the workload is identical however the cells are scheduled.
+		perms[i] = make([]*pattern.Pattern, seeds)
 		for s := 0; s < seeds; s++ {
 			rng := rand.New(rand.NewSource(int64(s) + 1))
-			perms[s] = pattern.RandomPermutationPattern(tp.Leaves(), bytes, rng)
+			perms[i][s] = pattern.RandomPermutationPattern(tp.Leaves(), opt.MessageBytes, rng)
 		}
-		fixed := func(algo core.Algorithm) (float64, error) {
-			var sum float64
-			for _, p := range perms {
-				s, err := contention.Slowdown(tp, algo, p)
-				if err != nil {
-					return 0, err
-				}
-				sum += s
-			}
-			return sum / float64(len(perms)), nil
+	}
+	nSchemes := len(deepSchemes)
+	cellsPerW := nSchemes * seeds
+	// values[i][k][seed]: slowdown of scheme k on topology i.
+	values := make([][][]float64, len(ws))
+	for i := range values {
+		values[i] = make([][]float64, nSchemes)
+		for k := range values[i] {
+			values[i][k] = make([]float64, seeds)
 		}
-		if row.SModK, err = fixed(core.NewSModK(tp)); err != nil {
-			return nil, err
+	}
+	err := opt.run(len(ws)*cellsPerW, func(idx int) error {
+		i, c := idx/cellsPerW, idx%cellsPerW
+		k, seed := c/seeds, c%seeds
+		tp := topos[i]
+		algo := deepSchemes[k](tp, uint64(seed)+1)
+		s, err := contention.SlowdownCached(opt.tableCache(), tp, algo, perms[i][seed])
+		if err != nil {
+			return err
 		}
-		if row.DModK, err = fixed(core.NewDModK(tp)); err != nil {
-			return nil, err
+		values[i][k][seed] = s
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]DeepRow, len(ws))
+	for i, w := range ws {
+		rows[i] = DeepRow{
+			W:        w,
+			Topology: topos[i].String(),
+			Switches: topos[i].InnerSwitches(),
+			SModK:    stats.Summarize(values[i][0]).Mean,
+			DModK:    stats.Summarize(values[i][1]).Mean,
+			RNCAUp:   stats.Summarize(values[i][2]),
+			RNCADn:   stats.Summarize(values[i][3]),
+			Random:   stats.Summarize(values[i][4]),
 		}
-		sample := func(mk func(seed uint64) core.Algorithm) (stats.Summary, error) {
-			samples := make([]float64, seeds)
-			for s := 0; s < seeds; s++ {
-				v, err := contention.Slowdown(tp, mk(uint64(s)+1), perms[s])
-				if err != nil {
-					return stats.Summary{}, err
-				}
-				samples[s] = v
-			}
-			return stats.Summarize(samples), nil
-		}
-		if row.RNCAUp, err = sample(func(s uint64) core.Algorithm { return core.NewRandomNCAUp(tp, s) }); err != nil {
-			return nil, err
-		}
-		if row.RNCADn, err = sample(func(s uint64) core.Algorithm { return core.NewRandomNCADown(tp, s) }); err != nil {
-			return nil, err
-		}
-		if row.Random, err = sample(func(s uint64) core.Algorithm { return core.NewRandom(tp, s) }); err != nil {
-			return nil, err
-		}
-		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -128,55 +148,63 @@ type AblationRow struct {
 
 // BalanceAblation quantifies what the paper's balanced maps buy over
 // naive per-subtree uniform relabeling on the slimmed tree
-// XGFT(2;16,16;1,w2).
-func BalanceAblation(w2, seeds int) (*AblationRow, error) {
-	if seeds <= 0 {
-		seeds = 10
+// XGFT(2;16,16;1,w2). Options.Seeds defaults to 10 here; each
+// (variant, metric, seed) triple is an independent sweep cell.
+func BalanceAblation(w2 int, opt Options) (*AblationRow, error) {
+	if opt.Seeds <= 0 {
+		opt.Seeds = 10
 	}
+	opt = opt.withDefaults()
+	seeds := opt.Seeds
 	tp, err := xgft.NewSlimmedTree(16, 16, w2)
 	if err != nil {
 		return nil, err
 	}
-	row := &AblationRow{Topology: tp.String()}
-	spread := func(mk func(seed uint64) core.Algorithm) float64 {
-		total := 0
-		for seed := 1; seed <= seeds; seed++ {
-			census := core.AllPairsNCACensus(tp, mk(uint64(seed)))
-			min, max := int(^uint(0)>>1), 0
-			for _, c := range census {
-				if c < min {
-					min = c
-				}
-				if c > max {
-					max = c
-				}
-			}
-			total += max - min
-		}
-		return float64(total) / float64(seeds)
+	variants := []func(seed uint64) core.Algorithm{
+		func(s uint64) core.Algorithm { return core.NewRandomNCAUp(tp, s) },
+		func(s uint64) core.Algorithm { return core.NewUnbalancedNCAUp(tp, s) },
 	}
-	row.CensusSpreadBalanced = spread(func(s uint64) core.Algorithm { return core.NewRandomNCAUp(tp, s) })
-	row.CensusSpreadUnbalanced = spread(func(s uint64) core.Algorithm { return core.NewUnbalancedNCAUp(tp, s) })
-
 	phases := pattern.CGD128Phases()
-	slowdowns := func(mk func(seed uint64) core.Algorithm) (stats.Summary, error) {
-		samples := make([]float64, seeds)
-		for seed := 1; seed <= seeds; seed++ {
-			s, err := contention.PhasedSlowdown(tp, mk(uint64(seed)), phases)
-			if err != nil {
-				return stats.Summary{}, err
+	// spreads[v][seed] and slowdowns[v][seed], v = balanced/unbalanced.
+	spreads := [2][]float64{make([]float64, seeds), make([]float64, seeds)}
+	slowdowns := [2][]float64{make([]float64, seeds), make([]float64, seeds)}
+	// Cell layout: variant-major, census cells before slowdown cells.
+	cellsPerVariant := 2 * seeds
+	err = opt.run(2*cellsPerVariant, func(idx int) error {
+		v, c := idx/cellsPerVariant, idx%cellsPerVariant
+		metric, seed := c/seeds, c%seeds
+		algo := variants[v](uint64(seed) + 1)
+		if metric == 0 {
+			census := core.AllPairsNCACensus(tp, algo)
+			min, max := int(^uint(0)>>1), 0
+			for _, n := range census {
+				if n < min {
+					min = n
+				}
+				if n > max {
+					max = n
+				}
 			}
-			samples[seed-1] = s
+			spreads[v][seed] = float64(max - min)
+			return nil
 		}
-		return stats.Summarize(samples), nil
-	}
-	if row.CGBalanced, err = slowdowns(func(s uint64) core.Algorithm { return core.NewRandomNCAUp(tp, s) }); err != nil {
+		s, err := contention.PhasedSlowdownCached(opt.tableCache(), tp, algo, phases)
+		if err != nil {
+			return err
+		}
+		slowdowns[v][seed] = s
+		return nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	if row.CGUnbalanced, err = slowdowns(func(s uint64) core.Algorithm { return core.NewUnbalancedNCAUp(tp, s) }); err != nil {
-		return nil, err
-	}
-	return row, nil
+	return &AblationRow{
+		Topology:               tp.String(),
+		CensusSpreadBalanced:   stats.Summarize(spreads[0]).Mean,
+		CensusSpreadUnbalanced: stats.Summarize(spreads[1]).Mean,
+		CGBalanced:             stats.Summarize(slowdowns[0]),
+		CGUnbalanced:           stats.Summarize(slowdowns[1]),
+	}, nil
 }
 
 // WriteBalanceAblation renders the ablation.

@@ -7,7 +7,7 @@ import (
 )
 
 func TestDeepTreeSweepShapes(t *testing.T) {
-	rows, err := DeepTreeSweep(4, 16*1024)
+	rows, err := DeepTreeSweep(Options{Seeds: 4, MessageBytes: 16 * 1024})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +37,7 @@ func TestDeepTreeSweepShapes(t *testing.T) {
 }
 
 func TestDeepTreeSweepDefaults(t *testing.T) {
-	rows, err := DeepTreeSweep(0, 0) // defaults kick in
+	rows, err := DeepTreeSweep(Options{}) // defaults kick in
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -47,7 +47,7 @@ func TestDeepTreeSweepDefaults(t *testing.T) {
 }
 
 func TestBalanceAblation(t *testing.T) {
-	row, err := BalanceAblation(10, 8)
+	row, err := BalanceAblation(10, Options{Seeds: 8})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +64,7 @@ func TestBalanceAblation(t *testing.T) {
 }
 
 func TestExtensionRenderers(t *testing.T) {
-	rows, err := DeepTreeSweep(2, 8*1024)
+	rows, err := DeepTreeSweep(Options{Seeds: 2, MessageBytes: 8 * 1024})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +73,7 @@ func TestExtensionRenderers(t *testing.T) {
 	if !strings.Contains(buf.String(), "XGFT(3;8,8,8;1,8,8)") {
 		t.Errorf("sweep output missing topology: %s", buf.String()[:120])
 	}
-	ab, err := BalanceAblation(10, 4)
+	ab, err := BalanceAblation(10, Options{Seeds: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -2,8 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"sort"
-	"sync"
 
 	"repro/internal/contention"
 	"repro/internal/core"
@@ -39,8 +37,21 @@ type Options struct {
 	MessageBytes int64
 	// W2Values lists the slimming sweep; defaults to 16..1.
 	W2Values []int
-	// Parallelism bounds concurrent simulations (default: 4).
+	// Parallelism bounds the worker pool the sweep cells run on
+	// (default: 4). Results are independent of the value: every cell
+	// derives its randomness from its own coordinates and writes its
+	// own result slot, so parallel and sequential runs are
+	// byte-identical.
 	Parallelism int
+	// Progress, when non-nil, is called after each completed sweep
+	// cell with monotonically increasing done counts and the total
+	// cell count of the running experiment. It is called from the
+	// sweep goroutines under a lock (never concurrently).
+	Progress func(done, total int)
+	// Cache overrides the routing-table cache. nil selects the
+	// process-wide shared cache; a zero-capacity cache
+	// (core.NewTableCache(0)) disables memoization entirely.
+	Cache *core.TableCache
 }
 
 func (o Options) withDefaults() Options {
@@ -61,14 +72,16 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// slowdownOf evaluates one (topology, algorithm) point for an app.
-func slowdownOf(app *App, tp *xgft.Topology, algo core.Algorithm, opt Options) (float64, error) {
-	phases := app.Phases(opt.MessageBytes)
+// phasedSlowdown evaluates one (topology, algorithm) cell over the
+// app's communication phases. Analytic cells share routing tables
+// through the options' cache; simulated cells build their own
+// simulator instances, so workers never share mutable state.
+func phasedSlowdown(tp *xgft.Topology, algo core.Algorithm, ranks int, phases []*pattern.Pattern, opt Options) (float64, error) {
 	switch opt.Engine {
 	case Analytic:
-		return contention.PhasedSlowdown(tp, algo, phases)
+		return contention.PhasedSlowdownCached(opt.tableCache(), tp, algo, phases)
 	case Simulated:
-		tr, err := traces.FromPhases(app.Ranks, phases, 1, 0)
+		tr, err := traces.FromPhases(ranks, phases, 1, 0)
 		if err != nil {
 			return 0, err
 		}
@@ -76,6 +89,51 @@ func slowdownOf(app *App, tp *xgft.Topology, algo core.Algorithm, opt Options) (
 	default:
 		return 0, fmt.Errorf("experiments: unknown engine %q", opt.Engine)
 	}
+}
+
+// coloredFor returns the pattern-aware baseline for a sweep cell,
+// memoized through the options' cache: the optimizer is deterministic
+// in (topology, phases) and costs milliseconds, so Figure2 and
+// Figure5 share one instance per sweep topology. Colored's Route is
+// read-only after construction, hence safe to share across workers.
+func coloredFor(tp *xgft.Topology, phases []*pattern.Pattern, opt Options) core.Algorithm {
+	key := "colored|" + tp.String()
+	for _, ph := range phases {
+		// Exact invariants ride along with the fingerprint so a
+		// 64-bit collision alone cannot alias two keys (the tableKey
+		// design rule).
+		key += fmt.Sprintf("|%d:%#x:%#x", len(ph.Flows), ph.TotalBytes(), ph.Fingerprint())
+	}
+	return opt.tableCache().MemoAlgorithm(key, func() core.Algorithm {
+		return core.NewColored(tp, phases, core.ColoredConfig{})
+	})
+}
+
+// fixedCellAlgo maps the fixed-baseline cell indices shared by
+// Figure2 and Figure5 (0: s-mod-k, 1: d-mod-k, 2: colored) to their
+// algorithm.
+func fixedCellAlgo(c int, tp *xgft.Topology, phases []*pattern.Pattern, opt Options) core.Algorithm {
+	switch c {
+	case 0:
+		return core.NewSModK(tp)
+	case 1:
+		return core.NewDModK(tp)
+	default:
+		return coloredFor(tp, phases, opt)
+	}
+}
+
+// slimmedTopologies builds the sweep's topology per W2 value.
+func slimmedTopologies(w2s []int) ([]*xgft.Topology, error) {
+	topos := make([]*xgft.Topology, len(w2s))
+	for i, w2 := range w2s {
+		tp, err := xgft.NewSlimmedTree(16, 16, w2)
+		if err != nil {
+			return nil, err
+		}
+		topos[i] = tp
+	}
+	return topos, nil
 }
 
 // Fig2Row is one x-position of Fig. 2: the slowdown of each fixed
@@ -92,41 +150,51 @@ type Fig2Row struct {
 
 // Figure2 reproduces Fig. 2a (WRF-256) or Fig. 2b (CG.D-128):
 // progressive tree slimming of the 16-ary 2-tree under the three
-// classic oblivious routings and the pattern-aware bound.
+// classic oblivious routings and the pattern-aware bound. Cells —
+// one per (topology, fixed algorithm) plus one per (topology, Random
+// seed) — fan out over the options' worker pool.
 func Figure2(app *App, opt Options) ([]Fig2Row, error) {
 	opt = opt.withDefaults()
-	rows := make([]Fig2Row, len(opt.W2Values))
-	err := forEach(len(opt.W2Values), opt.Parallelism, func(i int) error {
-		w2 := opt.W2Values[i]
-		tp, err := xgft.NewSlimmedTree(16, 16, w2)
+	phases := app.Phases(opt.MessageBytes)
+	topos, err := slimmedTopologies(opt.W2Values)
+	if err != nil {
+		return nil, err
+	}
+	const fixedCells = 3 // s-mod-k, d-mod-k, colored
+	cellsPerW := fixedCells + opt.Seeds
+	rows := make([]Fig2Row, len(topos))
+	randSamples := make([][]float64, len(topos))
+	for i := range randSamples {
+		randSamples[i] = make([]float64, opt.Seeds)
+	}
+	err = opt.run(len(topos)*cellsPerW, func(idx int) error {
+		i, c := idx/cellsPerW, idx%cellsPerW
+		tp := topos[i]
+		var algo core.Algorithm
+		var slot *float64
+		if c < fixedCells {
+			algo = fixedCellAlgo(c, tp, phases, opt)
+			slot = [...]*float64{&rows[i].SModK, &rows[i].DModK, &rows[i].Colored}[c]
+		} else {
+			seed := c - fixedCells
+			algo, slot = core.NewRandom(tp, uint64(seed)+1), &randSamples[i][seed]
+		}
+		s, err := phasedSlowdown(tp, algo, app.Ranks, phases, opt)
 		if err != nil {
 			return err
 		}
-		row := Fig2Row{W2: w2, Crossbar: 1}
-		if row.SModK, err = slowdownOf(app, tp, core.NewSModK(tp), opt); err != nil {
-			return err
-		}
-		if row.DModK, err = slowdownOf(app, tp, core.NewDModK(tp), opt); err != nil {
-			return err
-		}
-		col := core.NewColored(tp, app.Phases(opt.MessageBytes), core.ColoredConfig{})
-		if row.Colored, err = slowdownOf(app, tp, col, opt); err != nil {
-			return err
-		}
-		// Median random table over a few seeds.
-		samples := make([]float64, 0, opt.Seeds)
-		for seed := 0; seed < opt.Seeds; seed++ {
-			s, err := slowdownOf(app, tp, core.NewRandom(tp, uint64(seed)+1), opt)
-			if err != nil {
-				return err
-			}
-			samples = append(samples, s)
-		}
-		row.Random = stats.Summarize(samples).Median
-		rows[i] = row
+		*slot = s
 		return nil
 	})
-	return rows, err
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].W2 = opt.W2Values[i]
+		rows[i].Crossbar = 1
+		rows[i].Random = stats.Summarize(randSamples[i]).Median
+	}
+	return rows, nil
 }
 
 // Fig5Row is one x-position of Fig. 5: fixed curves for
@@ -142,53 +210,67 @@ type Fig5Row struct {
 	Random  stats.Summary
 }
 
+// figure5Schemes enumerates the randomized schemes of Fig. 5 in
+// result order.
+var figure5Schemes = []func(tp *xgft.Topology, seed uint64) core.Algorithm{
+	func(tp *xgft.Topology, s uint64) core.Algorithm { return core.NewRandomNCAUp(tp, s) },
+	func(tp *xgft.Topology, s uint64) core.Algorithm { return core.NewRandomNCADown(tp, s) },
+	func(tp *xgft.Topology, s uint64) core.Algorithm { return core.NewRandom(tp, s) },
+}
+
 // Figure5 reproduces Fig. 5a/5b: the proposed r-NCA-u and r-NCA-d
 // schemes against Random (boxplots over seeds) and the fixed
-// baselines, under progressive slimming.
+// baselines, under progressive slimming. Every (topology, scheme,
+// seed) triple is an independent sweep cell.
 func Figure5(app *App, opt Options) ([]Fig5Row, error) {
 	opt = opt.withDefaults()
-	rows := make([]Fig5Row, len(opt.W2Values))
-	err := forEach(len(opt.W2Values), opt.Parallelism, func(i int) error {
-		w2 := opt.W2Values[i]
-		tp, err := xgft.NewSlimmedTree(16, 16, w2)
+	phases := app.Phases(opt.MessageBytes)
+	topos, err := slimmedTopologies(opt.W2Values)
+	if err != nil {
+		return nil, err
+	}
+	const fixedCells = 3
+	nSchemes := len(figure5Schemes)
+	cellsPerW := fixedCells + nSchemes*opt.Seeds
+	rows := make([]Fig5Row, len(topos))
+	// samples[i][k][seed]: topology i, randomized scheme k.
+	samples := make([][][]float64, len(topos))
+	for i := range samples {
+		samples[i] = make([][]float64, nSchemes)
+		for k := range samples[i] {
+			samples[i][k] = make([]float64, opt.Seeds)
+		}
+	}
+	err = opt.run(len(topos)*cellsPerW, func(idx int) error {
+		i, c := idx/cellsPerW, idx%cellsPerW
+		tp := topos[i]
+		var algo core.Algorithm
+		var slot *float64
+		if c < fixedCells {
+			algo = fixedCellAlgo(c, tp, phases, opt)
+			slot = [...]*float64{&rows[i].SModK, &rows[i].DModK, &rows[i].Colored}[c]
+		} else {
+			k := (c - fixedCells) / opt.Seeds
+			seed := (c - fixedCells) % opt.Seeds
+			algo, slot = figure5Schemes[k](tp, uint64(seed)+1), &samples[i][k][seed]
+		}
+		s, err := phasedSlowdown(tp, algo, app.Ranks, phases, opt)
 		if err != nil {
 			return err
 		}
-		row := Fig5Row{W2: w2}
-		if row.SModK, err = slowdownOf(app, tp, core.NewSModK(tp), opt); err != nil {
-			return err
-		}
-		if row.DModK, err = slowdownOf(app, tp, core.NewDModK(tp), opt); err != nil {
-			return err
-		}
-		col := core.NewColored(tp, app.Phases(opt.MessageBytes), core.ColoredConfig{})
-		if row.Colored, err = slowdownOf(app, tp, col, opt); err != nil {
-			return err
-		}
-		sample := func(mk func(seed uint64) core.Algorithm) (stats.Summary, error) {
-			samples := make([]float64, opt.Seeds)
-			for seed := 0; seed < opt.Seeds; seed++ {
-				s, err := slowdownOf(app, tp, mk(uint64(seed)+1), opt)
-				if err != nil {
-					return stats.Summary{}, err
-				}
-				samples[seed] = s
-			}
-			return stats.Summarize(samples), nil
-		}
-		if row.RNCAUp, err = sample(func(s uint64) core.Algorithm { return core.NewRandomNCAUp(tp, s) }); err != nil {
-			return err
-		}
-		if row.RNCADn, err = sample(func(s uint64) core.Algorithm { return core.NewRandomNCADown(tp, s) }); err != nil {
-			return err
-		}
-		if row.Random, err = sample(func(s uint64) core.Algorithm { return core.NewRandom(tp, s) }); err != nil {
-			return err
-		}
-		rows[i] = row
+		*slot = s
 		return nil
 	})
-	return rows, err
+	if err != nil {
+		return nil, err
+	}
+	for i := range rows {
+		rows[i].W2 = opt.W2Values[i]
+		rows[i].RNCAUp = stats.Summarize(samples[i][0])
+		rows[i].RNCADn = stats.Summarize(samples[i][1])
+		rows[i].Random = stats.Summarize(samples[i][2])
+	}
+	return rows, nil
 }
 
 // Fig4Result holds the routes-per-NCA census of one topology:
@@ -204,39 +286,63 @@ type Fig4Result struct {
 	RNCADn   []stats.Summary
 }
 
+// figure4Schemes enumerates the randomized schemes of Fig. 4 in
+// result order.
+var figure4Schemes = []func(tp *xgft.Topology, seed uint64) core.Algorithm{
+	func(tp *xgft.Topology, s uint64) core.Algorithm { return core.NewRandom(tp, s) },
+	func(tp *xgft.Topology, s uint64) core.Algorithm { return core.NewRandomNCAUp(tp, s) },
+	func(tp *xgft.Topology, s uint64) core.Algorithm { return core.NewRandomNCADown(tp, s) },
+}
+
 // Figure4 reproduces Fig. 4a (w2=16) / 4b (w2=10): the distribution
-// of all-pairs route assignments over the roots.
-func Figure4(w2, seeds int) (*Fig4Result, error) {
+// of all-pairs route assignments over the roots. Cells are the two
+// deterministic censuses plus one census per (scheme, seed).
+func Figure4(w2 int, opt Options) (*Fig4Result, error) {
+	opt = opt.withDefaults()
 	tp, err := xgft.NewSlimmedTree(16, 16, w2)
 	if err != nil {
 		return nil, err
 	}
-	if seeds <= 0 {
-		seeds = 40
-	}
 	res := &Fig4Result{
 		Topology: tp.String(),
 		Roots:    tp.NodesAt(2),
-		SModK:    core.AllPairsNCACensus(tp, core.NewSModK(tp)),
-		DModK:    core.AllPairsNCACensus(tp, core.NewDModK(tp)),
 	}
-	sample := func(mk func(seed uint64) core.Algorithm) []stats.Summary {
-		perRoot := make([][]float64, res.Roots)
-		for seed := 0; seed < seeds; seed++ {
-			census := core.AllPairsNCACensus(tp, mk(uint64(seed)+1))
-			for root, c := range census {
-				perRoot[root] = append(perRoot[root], float64(c))
-			}
+	nSchemes := len(figure4Schemes)
+	// censuses[k][seed]: scheme k's census at one seed.
+	censuses := make([][][]int, nSchemes)
+	for k := range censuses {
+		censuses[k] = make([][]int, opt.Seeds)
+	}
+	err = opt.run(2+nSchemes*opt.Seeds, func(idx int) error {
+		switch idx {
+		case 0:
+			res.SModK = core.AllPairsNCACensus(tp, core.NewSModK(tp))
+		case 1:
+			res.DModK = core.AllPairsNCACensus(tp, core.NewDModK(tp))
+		default:
+			k := (idx - 2) / opt.Seeds
+			seed := (idx - 2) % opt.Seeds
+			censuses[k][seed] = core.AllPairsNCACensus(tp, figure4Schemes[k](tp, uint64(seed)+1))
 		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	summarize := func(k int) []stats.Summary {
 		out := make([]stats.Summary, res.Roots)
-		for root := range out {
-			out[root] = stats.Summarize(perRoot[root])
+		perRoot := make([]float64, opt.Seeds)
+		for root := 0; root < res.Roots; root++ {
+			for seed := 0; seed < opt.Seeds; seed++ {
+				perRoot[seed] = float64(censuses[k][seed][root])
+			}
+			out[root] = stats.Summarize(perRoot)
 		}
 		return out
 	}
-	res.Random = sample(func(s uint64) core.Algorithm { return core.NewRandom(tp, s) })
-	res.RNCAUp = sample(func(s uint64) core.Algorithm { return core.NewRandomNCAUp(tp, s) })
-	res.RNCADn = sample(func(s uint64) core.Algorithm { return core.NewRandomNCADown(tp, s) })
+	res.Random = summarize(0)
+	res.RNCAUp = summarize(1)
+	res.RNCADn = summarize(2)
 	return res, nil
 }
 
@@ -251,8 +357,11 @@ type Fig3Result struct {
 	PhaseFactor []float64
 }
 
-// Figure3 reproduces Fig. 3.
-func Figure3() (*Fig3Result, error) {
+// Figure3 reproduces Fig. 3. The d-mod-k phase tables are served from
+// the options' routing-table cache, so a -all run shares them with
+// the Fig. 2b/5b sweeps.
+func Figure3(opt Options) (*Fig3Result, error) {
+	opt = opt.withDefaults()
 	tp, err := xgft.NewSlimmedTree(16, 16, 16)
 	if err != nil {
 		return nil, err
@@ -262,7 +371,7 @@ func Figure3() (*Fig3Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	net, xbar, err := contention.PhaseBounds(tp, core.NewDModK(tp), phases)
+	net, xbar, err := contention.PhaseBoundsCached(opt.tableCache(), tp, core.NewDModK(tp), phases)
 	if err != nil {
 		return nil, err
 	}
@@ -332,49 +441,4 @@ func Table1(tp *xgft.Topology) []Table1Row {
 		}
 	}
 	return rows
-}
-
-// forEach runs fn(0..n-1) over a bounded worker pool, collecting the
-// first error.
-func forEach(n, workers int, fn func(i int) error) error {
-	if workers > n {
-		workers = n
-	}
-	if workers <= 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	var (
-		wg   sync.WaitGroup
-		mu   sync.Mutex
-		errs []error
-	)
-	jobs := make(chan int)
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for i := range jobs {
-				if err := fn(i); err != nil {
-					mu.Lock()
-					errs = append(errs, err)
-					mu.Unlock()
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		jobs <- i
-	}
-	close(jobs)
-	wg.Wait()
-	if len(errs) > 0 {
-		sort.Slice(errs, func(i, j int) bool { return errs[i].Error() < errs[j].Error() })
-		return errs[0]
-	}
-	return nil
 }

@@ -160,7 +160,7 @@ func TestFigure5SimulatedEngineSmall(t *testing.T) {
 
 func TestFigure4Shapes(t *testing.T) {
 	// Fig. 4a: flat 3840 for mod-k at w2=16.
-	a, err := Figure4(16, 5)
+	a, err := Figure4(16, Options{Seeds: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -171,7 +171,7 @@ func TestFigure4Shapes(t *testing.T) {
 	}
 	// Fig. 4b: bimodal for mod-k at w2=10; r-NCA medians closer to
 	// the 6144 mean than the mod-k extremes.
-	b, err := Figure4(10, 5)
+	b, err := Figure4(10, Options{Seeds: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,7 +197,7 @@ func TestFigure4Shapes(t *testing.T) {
 }
 
 func TestFigure3(t *testing.T) {
-	res, err := Figure3()
+	res, err := Figure3(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -278,7 +278,7 @@ func TestRenderers(t *testing.T) {
 		t.Error("figure 5 CSV missing header")
 	}
 
-	f4, err := Figure4(10, 2)
+	f4, err := Figure4(10, Options{Seeds: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -288,7 +288,7 @@ func TestRenderers(t *testing.T) {
 		t.Error("figure 4 text missing header")
 	}
 
-	f3, err := Figure3()
+	f3, err := Figure3(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -306,10 +306,10 @@ func TestRenderers(t *testing.T) {
 	}
 }
 
-func TestForEachParallelAndErrors(t *testing.T) {
+func TestRunCellsParallelAndErrors(t *testing.T) {
 	var mu sync.Mutex
 	seen := map[int]bool{}
-	err := forEach(20, 4, func(i int) error {
+	err := runCells(20, 4, nil, func(i int) error {
 		mu.Lock()
 		seen[i] = true
 		mu.Unlock()
@@ -321,7 +321,7 @@ func TestForEachParallelAndErrors(t *testing.T) {
 	if len(seen) != 20 {
 		t.Errorf("visited %d of 20", len(seen))
 	}
-	wantErr := forEach(10, 3, func(i int) error {
+	wantErr := runCells(10, 3, nil, func(i int) error {
 		if i == 7 {
 			return errTest
 		}

@@ -1,0 +1,32 @@
+// Package hashutil is the single home of the keyed splitmix64 stream
+// used for deterministic, seed-reproducible randomness throughout the
+// repository: routing schemes hash (seed, pair, level) tuples into
+// port choices, and caches hash pattern content into fingerprints.
+// Keeping one implementation guarantees the routing layer and the
+// fingerprint layer never diverge.
+package hashutil
+
+// Splitmix64 advances the splitmix64 state and returns the next
+// value (Steele et al., "Fast splittable pseudorandom number
+// generators").
+func Splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Fold folds values into a running hash: each value is XORed into
+// the state, which is then advanced through Splitmix64.
+func Fold(h uint64, vals ...uint64) uint64 {
+	for _, v := range vals {
+		h = Splitmix64(h ^ v)
+	}
+	return h
+}
+
+// Mix hashes a tuple of values into a well-distributed 64-bit key
+// from a fixed seed.
+func Mix(vals ...uint64) uint64 {
+	return Fold(0x8a5cd789635d2dff, vals...)
+}

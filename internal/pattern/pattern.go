@@ -11,6 +11,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+
+	"repro/internal/hashutil"
 )
 
 // Flow is a single point-to-point transfer of Bytes bytes.
@@ -69,6 +71,19 @@ func (p *Pattern) TotalBytes() int64 {
 		total += f.Bytes
 	}
 	return total
+}
+
+// Fingerprint returns a 64-bit content hash of the pattern: N plus
+// every flow in order. Two patterns built independently from the same
+// flows hash identically, which is what lets routing-table caches key
+// on pattern *content* rather than pointer identity. Flow order is
+// significant (tables are flow-order aligned).
+func (p *Pattern) Fingerprint() uint64 {
+	h := hashutil.Fold(0x9e3779b97f4a7c15, uint64(p.N), uint64(len(p.Flows)))
+	for _, f := range p.Flows {
+		h = hashutil.Fold(h, uint64(f.Src), uint64(f.Dst), uint64(f.Bytes))
+	}
+	return h
 }
 
 // Inverse returns the pattern with every flow reversed: the D -> S

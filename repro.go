@@ -90,8 +90,16 @@ type Summary = stats.Summary
 // App is one of the paper's benchmark applications.
 type App = experiments.App
 
-// ExperimentOptions parameterizes figure sweeps.
+// ExperimentOptions parameterizes figure sweeps: engine, seed count,
+// message sizes, the Parallelism of the sweep worker pool, an
+// optional Progress callback, and the routing-table Cache. Parallel
+// runs are byte-identical to sequential ones (each sweep cell derives
+// its randomness from its own coordinates).
 type ExperimentOptions = experiments.Options
+
+// RoutingTableCache memoizes BuildTable results across sweeps, keyed
+// by (topology spec, algorithm identity, pattern fingerprint).
+type RoutingTableCache = core.TableCache
 
 // Topology constructors.
 var (
@@ -132,6 +140,9 @@ var (
 	// AutoModK picks S-mod-k or D-mod-k from the pattern's asymmetry
 	// (the paper's §VII-C heuristic).
 	AutoModK = core.AutoModK
+	// NewRoutingTableCache builds a bounded routing-table cache;
+	// capacity <= 0 disables memoization (every build recomputes).
+	NewRoutingTableCache = core.NewTableCache
 	// NewFixedTable builds an empty explicit route table.
 	NewFixedTable = core.NewFixedTable
 	// SnapshotRoutes freezes an algorithm's routes for given pairs.
@@ -187,6 +198,10 @@ var (
 	AnalyticSlowdown = contention.Slowdown
 	// AnalyticPhasedSlowdown sums dependent phases.
 	AnalyticPhasedSlowdown = contention.PhasedSlowdown
+	// AnalyticSlowdownCached / AnalyticPhasedSlowdownCached serve the
+	// routing tables from a RoutingTableCache (nil recomputes).
+	AnalyticSlowdownCached       = contention.SlowdownCached
+	AnalyticPhasedSlowdownCached = contention.PhasedSlowdownCached
 	// NCAHistogram counts routes per NCA (Fig. 4 view).
 	NCAHistogram = contention.NCAHistogram
 	// VerifyDeadlockFree certifies a route set's channel dependency
