@@ -6,6 +6,7 @@
 //	experiments -fig3               Fig. 3: CG traffic decomposition
 //	experiments -fig4a -fig4b       Fig. 4: routes per NCA
 //	experiments -fig5a -fig5b       Fig. 5: r-NCA-u/d boxplots
+//	experiments -faults             degraded-topology sweep (failed links)
 //	experiments -all                everything above
 //
 // By default the fast analytic engine is used; -engine simulated runs
@@ -41,6 +42,7 @@ func main() {
 		fig5a    = flag.Bool("fig5a", false, "Fig. 5a (WRF boxplots)")
 		fig5b    = flag.Bool("fig5b", false, "Fig. 5b (CG boxplots)")
 		ext      = flag.Bool("ext", false, "extension: three-level XGFT generalization sweep")
+		faults   = flag.Bool("faults", false, "extension: degraded-topology sweep (failed top-level links)")
 		ablate   = flag.Bool("ablation", false, "ablation: balanced vs uniform relabeling")
 		adaptive = flag.Bool("adaptive", false, "extension: adaptive vs oblivious routing")
 		engine   = flag.String("engine", "analytic", "analytic or simulated")
@@ -186,6 +188,25 @@ func main() {
 		}
 		experiments.WriteDeepTreeSweep(os.Stdout, rows)
 		done()
+	}
+	if *all || *faults {
+		if opt.Engine == experiments.Simulated && !*faults {
+			// The fault sweep is analytic-only; during -all with a
+			// simulated engine, skip it visibly rather than abort.
+			fmt.Println("=== Extension — degraded topology — skipped (analytic engine only) ===")
+			fmt.Println()
+		} else {
+			done := section("Extension — degraded topology (failed top-level links)")
+			for _, app := range []*experiments.App{experiments.WRFApp(), experiments.CGApp()} {
+				rows, err := experiments.FaultSweep(app, opt)
+				if err != nil {
+					fail(err)
+				}
+				experiments.WriteFaultSweep(os.Stdout, app, rows)
+				fmt.Println()
+			}
+			done()
+		}
 	}
 	if *all || *ablate {
 		done := section("Ablation — balanced vs uniform relabeling")

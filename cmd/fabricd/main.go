@@ -1,0 +1,253 @@
+// Command fabricd runs the fabric-manager daemon: it compiles a
+// routing scheme into an all-pairs route store and serves resolution
+// and fault-handling over HTTP, hot-swapping route generations as
+// links and switches fail (see internal/fabric).
+//
+// Usage:
+//
+//	fabricd -xgft "2;16,16;1,16" -algo d-mod-k -addr :7420
+//	fabricd -xgft "2;16,16;1,16" -algo r-NCA-u -seed 7 -addr :7420
+//	fabricd -demo
+//
+// Endpoints:
+//
+//	GET  /resolve?src=S&dst=D      installed route for the pair
+//	GET  /stats                    current generation statistics
+//	POST /fail-link?level=L&index=I&port=P
+//	POST /fail-switch?level=L&index=I
+//	POST /heal                     recompile the healthy table
+//	GET  /healthz                  liveness
+//
+// -demo runs a scripted failure/heal cycle without binding a port:
+// start, resolve, fail a top-level link, watch the generation swap,
+// measure resolution throughput, heal.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/hashutil"
+	"repro/internal/xgft"
+)
+
+func main() {
+	var (
+		spec = flag.String("xgft", "2;16,16;1,16", `topology as "h;m1,..;w1,.."`)
+		algo = flag.String("algo", "d-mod-k", "routing scheme: "+strings.Join(core.AlgorithmNames(), ", "))
+		seed = flag.Uint64("seed", 1, "seed for randomized schemes")
+		addr = flag.String("addr", ":7420", "HTTP listen address")
+		demo = flag.Bool("demo", false, "run a scripted failure/heal cycle and exit (no server)")
+	)
+	flag.Parse()
+
+	f, err := build(*spec, *algo, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fabricd:", err)
+		os.Exit(2)
+	}
+	if *demo {
+		if err := runDemo(f); err != nil {
+			fmt.Fprintln(os.Stderr, "fabricd:", err)
+			os.Exit(2)
+		}
+		return
+	}
+	fmt.Printf("fabricd: serving %s under %s on %s\n", f.Topology(), *algo, *addr)
+	if err := http.ListenAndServe(*addr, newMux(f)); err != nil {
+		fmt.Fprintln(os.Stderr, "fabricd:", err)
+		os.Exit(2)
+	}
+}
+
+func build(spec, algoName string, seed uint64) (*fabric.Fabric, error) {
+	tp, err := xgft.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	algo, err := core.NewByName(algoName, tp, seed, nil)
+	if err != nil {
+		return nil, err
+	}
+	return fabric.New(fabric.Config{Topo: tp, Algo: algo})
+}
+
+// statsJSON is the wire form of fabric.Stats (BuildTime in
+// milliseconds instead of opaque nanoseconds).
+type statsJSON struct {
+	Seq            uint64  `json:"seq"`
+	Algo           string  `json:"algo"`
+	Routes         int     `json:"routes"`
+	Patched        int     `json:"patched"`
+	Unreachable    int     `json:"unreachable"`
+	FailedWires    int     `json:"failed_wires"`
+	FailedSwitches int     `json:"failed_switches"`
+	CacheHit       bool    `json:"cache_hit"`
+	BuildMillis    float64 `json:"build_ms"`
+}
+
+func toJSON(st fabric.Stats) statsJSON {
+	return statsJSON{
+		Seq:            st.Seq,
+		Algo:           st.Algo,
+		Routes:         st.Routes,
+		Patched:        st.Patched,
+		Unreachable:    st.Unreachable,
+		FailedWires:    st.FailedWires,
+		FailedSwitches: st.FailedSwitches,
+		CacheHit:       st.CacheHit,
+		BuildMillis:    float64(st.BuildTime.Microseconds()) / 1000,
+	}
+}
+
+func newMux(f *fabric.Fabric) *http.ServeMux {
+	mux := http.NewServeMux()
+	reply := func(w http.ResponseWriter, code int, v any) {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(code)
+		json.NewEncoder(w).Encode(v)
+	}
+	intArg := func(r *http.Request, name string) (int, error) {
+		v, err := strconv.Atoi(r.URL.Query().Get(name))
+		if err != nil {
+			return 0, fmt.Errorf("bad or missing %q: %v", name, err)
+		}
+		return v, nil
+	}
+	type errJSON struct {
+		Error string `json:"error"`
+	}
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, http.StatusOK, map[string]uint64{"generation": f.Stats().Seq})
+	})
+	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, http.StatusOK, toJSON(f.Stats()))
+	})
+	mux.HandleFunc("GET /resolve", func(w http.ResponseWriter, r *http.Request) {
+		src, err := intArg(r, "src")
+		if err != nil {
+			reply(w, http.StatusBadRequest, errJSON{err.Error()})
+			return
+		}
+		dst, err := intArg(r, "dst")
+		if err != nil {
+			reply(w, http.StatusBadRequest, errJSON{err.Error()})
+			return
+		}
+		// One generation snapshot for both the route and its seq, so
+		// a concurrent swap cannot tag a stale route as current.
+		gen := f.Generation()
+		route, ok := gen.Resolve(src, dst)
+		if !ok {
+			reply(w, http.StatusNotFound, errJSON{fmt.Sprintf("pair (%d,%d) out of range or unreachable", src, dst)})
+			return
+		}
+		up := route.Up
+		if up == nil {
+			up = []int{}
+		}
+		reply(w, http.StatusOK, map[string]any{
+			"src": src, "dst": dst, "up": up,
+			"nca_level": route.NCALevel(), "generation": gen.Seq(),
+		})
+	})
+	admin := func(op func() (fabric.Stats, error)) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			st, err := op()
+			if err != nil {
+				reply(w, http.StatusConflict, errJSON{err.Error()})
+				return
+			}
+			reply(w, http.StatusOK, toJSON(st))
+		}
+	}
+	mux.HandleFunc("POST /fail-link", func(w http.ResponseWriter, r *http.Request) {
+		level, err1 := intArg(r, "level")
+		index, err2 := intArg(r, "index")
+		port, err3 := intArg(r, "port")
+		for _, err := range []error{err1, err2, err3} {
+			if err != nil {
+				reply(w, http.StatusBadRequest, errJSON{err.Error()})
+				return
+			}
+		}
+		admin(func() (fabric.Stats, error) { return f.FailLink(level, index, port) })(w, r)
+	})
+	mux.HandleFunc("POST /fail-switch", func(w http.ResponseWriter, r *http.Request) {
+		level, err1 := intArg(r, "level")
+		index, err2 := intArg(r, "index")
+		for _, err := range []error{err1, err2} {
+			if err != nil {
+				reply(w, http.StatusBadRequest, errJSON{err.Error()})
+				return
+			}
+		}
+		admin(func() (fabric.Stats, error) { return f.FailSwitch(level, index) })(w, r)
+	})
+	mux.HandleFunc("POST /heal", admin(f.Heal))
+	return mux
+}
+
+// runDemo walks the daemon's lifecycle on stdout: compile, resolve,
+// degrade, observe the generation swap, measure throughput, heal.
+func runDemo(f *fabric.Fabric) error {
+	tp := f.Topology()
+	printStats := func(st fabric.Stats) {
+		fmt.Printf("  generation %d (%s): %d routes, %d patched, %d unreachable, %d failed wires, cache hit %v, built in %v\n",
+			st.Seq, st.Algo, st.Routes, st.Patched, st.Unreachable, st.FailedWires, st.CacheHit, st.BuildTime.Round(10*time.Microsecond))
+	}
+	fmt.Printf("fabricd demo on %s\n", tp)
+	printStats(f.Stats())
+
+	src, dst := 0, tp.Leaves()-1
+	before, _ := f.Resolve(src, dst)
+	fmt.Printf("  resolve %d -> %d: up%v\n", src, dst, before.Up)
+
+	// Fail the top-level link the displayed route actually rides: the
+	// wire from src's level-(h-1) ancestor through the route's last
+	// up-port.
+	top := tp.Height() - 1
+	ancestor := src
+	for l := 0; l < top; l++ {
+		ancestor = tp.Parent(l, ancestor, before.Up[l])
+	}
+	fmt.Printf("failing link (level %d, switch %d, port %d)...\n", top, ancestor, before.Up[top])
+	st, err := f.FailLink(top, ancestor, before.Up[top])
+	if err != nil {
+		return err
+	}
+	printStats(st)
+	after, ok := f.Resolve(src, dst)
+	fmt.Printf("  resolve %d -> %d: up%v (ok %v)\n", src, dst, after.Up, ok)
+
+	const batch = 65536
+	pairs := make([][2]int, batch)
+	out := make([]xgft.Route, batch)
+	h := uint64(1)
+	n := tp.Leaves()
+	for i := range pairs {
+		h = hashutil.Splitmix64(h)
+		pairs[i] = [2]int{int(h % uint64(n)), int(h >> 32 % uint64(n))}
+	}
+	start := time.Now()
+	resolved := f.ResolveBatch(pairs, out)
+	elapsed := time.Since(start)
+	fmt.Printf("  resolved %d/%d pairs in %v (%.1fM routes/s)\n",
+		resolved, batch, elapsed.Round(time.Microsecond), float64(batch)/elapsed.Seconds()/1e6)
+
+	fmt.Println("healing...")
+	st, err = f.Heal()
+	if err != nil {
+		return err
+	}
+	printStats(st)
+	return nil
+}

@@ -13,7 +13,6 @@ package main
 import (
 	"flag"
 	"fmt"
-	"math/rand"
 	"os"
 	"strconv"
 	"strings"
@@ -107,9 +106,10 @@ func run(spec, algoName, patName string, seed uint64, bytes int64, dump bool, ta
 }
 
 // buildPattern resolves the pattern selector. Multi-phase names (cg)
-// return several phases; everything else one.
+// return several phases; everything else one. Randomized patterns
+// come from the keyed splitmix64 stream, so the same -seed prints the
+// same table on every platform and Go version.
 func buildPattern(name string, n int, bytes int64, seed uint64) ([]*pattern.Pattern, error) {
-	rng := rand.New(rand.NewSource(int64(seed)))
 	switch {
 	case name == "wrf":
 		if n < 256 {
@@ -164,7 +164,7 @@ func buildPattern(name string, n int, bytes int64, seed uint64) ([]*pattern.Patt
 	case name == "alltoall":
 		return []*pattern.Pattern{pattern.AllToAll(n, bytes)}, nil
 	case name == "random-perm":
-		return []*pattern.Pattern{pattern.RandomPermutationPattern(n, bytes, rng)}, nil
+		return []*pattern.Pattern{pattern.KeyedRandomPermutation(n, bytes, seed)}, nil
 	default:
 		return nil, fmt.Errorf("unknown pattern %q", name)
 	}

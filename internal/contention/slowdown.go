@@ -35,6 +35,23 @@ func SlowdownCached(c *core.TableCache, t *xgft.Topology, algo core.Algorithm, p
 	return float64(a.CompletionBound()) / float64(xb), nil
 }
 
+// SlowdownRoutes computes the analytic slowdown of one phase from an
+// explicit route set (as produced by core.PatchTable on a degraded
+// view) instead of from an algorithm: routes must be aligned with
+// p.Flows. This is the degraded-fabric path — the healthy-table cache
+// cannot serve patched tables.
+func SlowdownRoutes(t *xgft.Topology, p *pattern.Pattern, routes []xgft.Route) (float64, error) {
+	a, err := Analyze(t, p, routes)
+	if err != nil {
+		return 0, err
+	}
+	xb := CrossbarBound(p)
+	if xb == 0 {
+		return 1, nil
+	}
+	return float64(a.CompletionBound()) / float64(xb), nil
+}
+
 // PhasedSlowdown computes the slowdown of a sequence of dependent
 // communication phases (e.g. CG's five exchanges): total bound over
 // the phases divided by the total crossbar bound. Phases are assumed

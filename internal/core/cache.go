@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"sync"
 	"sync/atomic"
 
@@ -38,24 +39,37 @@ type tableKey struct {
 // must not be mutated by callers — routes are index data valid for any
 // topology with the same spec.
 //
-// The cache is safe for concurrent use. Capacity bounds the number of
-// retained tables with FIFO eviction; a capacity <= 0 cache is a
-// pass-through (never stores), which is how benchmarks measure the
-// uncached engine.
+// The cache is safe for concurrent use, and concurrent Build calls
+// for the same key are coalesced singleflight-style: one caller
+// computes, the rest wait for its result instead of duplicating the
+// work (the case a fabric rebuild storm produces). Capacity bounds
+// the number of retained tables with FIFO eviction; a capacity <= 0
+// cache is a pass-through (never stores, never coalesces), which is
+// how benchmarks measure the uncached engine.
 type TableCache struct {
 	capacity   int
 	hits       atomic.Uint64
 	misses     atomic.Uint64
+	coalesced  atomic.Uint64
 	algoHits   atomic.Uint64
 	algoMisses atomic.Uint64
 
-	mu      sync.Mutex
-	entries map[tableKey]*Table
-	order   []tableKey
+	mu       sync.Mutex
+	entries  map[tableKey]*Table
+	order    []tableKey
+	inflight map[tableKey]*inflightBuild
 
 	algoMu    sync.Mutex
 	algos     map[string]Algorithm
 	algoOrder []string
+}
+
+// inflightBuild is one in-progress BuildTable computation; done is
+// closed after tbl/err are set.
+type inflightBuild struct {
+	done chan struct{}
+	tbl  *Table
+	err  error
 }
 
 // NewTableCache returns a cache retaining at most capacity tables.
@@ -64,6 +78,7 @@ func NewTableCache(capacity int) *TableCache {
 	return &TableCache{
 		capacity: capacity,
 		entries:  make(map[tableKey]*Table),
+		inflight: make(map[tableKey]*inflightBuild),
 		algos:    make(map[string]Algorithm),
 	}
 }
@@ -122,29 +137,59 @@ func (c *TableCache) Build(t *xgft.Topology, algo Algorithm, p *pattern.Pattern)
 		pattern: p.Fingerprint(),
 	}
 	c.mu.Lock()
-	tbl := c.entries[key]
-	c.mu.Unlock()
-	if tbl != nil {
+	if tbl := c.entries[key]; tbl != nil {
+		c.mu.Unlock()
 		c.hits.Add(1)
 		return tbl, nil
 	}
-	c.misses.Add(1)
-	tbl, err := BuildTable(t, algo, p)
-	if err != nil {
-		return nil, err
+	if fl := c.inflight[key]; fl != nil {
+		// Another goroutine is already computing this table: wait for
+		// it instead of duplicating the build.
+		c.mu.Unlock()
+		<-fl.done
+		c.coalesced.Add(1)
+		return fl.tbl, fl.err
 	}
-	c.mu.Lock()
-	if _, exists := c.entries[key]; !exists {
-		for len(c.order) >= c.capacity {
-			oldest := c.order[0]
-			c.order = c.order[1:]
-			delete(c.entries, oldest)
-		}
-		c.entries[key] = tbl
-		c.order = append(c.order, key)
-	}
+	fl := &inflightBuild{done: make(chan struct{})}
+	c.inflight[key] = fl
 	c.mu.Unlock()
-	return tbl, nil
+	c.misses.Add(1)
+	// Complete the flight even if BuildTable panics (a malformed
+	// pattern can make an algorithm panic): the key must not stay
+	// wedged and waiters must not hang on done. The panic itself
+	// still propagates to this caller; waiters see an error.
+	defer func() {
+		if fl.tbl == nil && fl.err == nil {
+			fl.err = fmt.Errorf("core: table build for %q on %s panicked", key.algo, key.topo)
+		}
+		c.mu.Lock()
+		delete(c.inflight, key)
+		if fl.err == nil {
+			if _, exists := c.entries[key]; !exists {
+				for len(c.order) >= c.capacity {
+					oldest := c.order[0]
+					c.order = c.order[1:]
+					delete(c.entries, oldest)
+				}
+				c.entries[key] = fl.tbl
+				c.order = append(c.order, key)
+			}
+		}
+		c.mu.Unlock()
+		close(fl.done)
+	}()
+	fl.tbl, fl.err = BuildTable(t, algo, p)
+	return fl.tbl, fl.err
+}
+
+// Coalesced reports how many Build calls were served by waiting on an
+// identical in-flight computation instead of recomputing (neither a
+// hit nor a miss in Stats' terms).
+func (c *TableCache) Coalesced() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.coalesced.Load()
 }
 
 // Stats reports table-lookup effectiveness: hits and misses of

@@ -4,7 +4,9 @@ import (
 	"fmt"
 	"reflect"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/pattern"
 	"repro/internal/xgft"
@@ -182,5 +184,121 @@ func TestRelabelFamilyConcurrentRoutes(t *testing.T) {
 	wg.Wait()
 	if got := algo.Route(1, 200); !reflect.DeepEqual(got, want) {
 		t.Errorf("route changed under concurrency: %v -> %v", want, got)
+	}
+}
+
+// countingAlgo wraps an algorithm with a route-call counter so tests
+// can observe how many times a table was actually computed.
+type countingAlgo struct {
+	Algorithm
+	key   string
+	calls *atomic.Int64
+}
+
+func (a countingAlgo) CacheKey() string { return a.key }
+
+func (a countingAlgo) Route(s, d int) xgft.Route {
+	a.calls.Add(1)
+	return a.Algorithm.Route(s, d)
+}
+
+// TestTableCacheCoalesces checks the singleflight behaviour: many
+// goroutines building the same cold key compute the table exactly
+// once — the rest wait for the in-flight build instead of duplicating
+// it. Run with -race.
+func TestTableCacheCoalesces(t *testing.T) {
+	tp := cacheTestTopo(t)
+	p := pattern.WRF256()
+	c := NewTableCache(8)
+	var calls atomic.Int64
+	algo := countingAlgo{Algorithm: NewDModK(tp), key: "counting", calls: &calls}
+
+	const workers = 16
+	var start, wg sync.WaitGroup
+	start.Add(1)
+	tables := make([]*Table, workers)
+	errs := make([]error, workers)
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			start.Wait()
+			tables[g], errs[g] = c.Build(tp, algo, p)
+		}(g)
+	}
+	start.Done()
+	wg.Wait()
+	for g := 0; g < workers; g++ {
+		if errs[g] != nil {
+			t.Fatal(errs[g])
+		}
+		if tables[g] != tables[0] {
+			t.Fatalf("goroutine %d got a different table instance", g)
+		}
+	}
+	if got := calls.Load(); got != int64(len(p.Flows)) {
+		t.Fatalf("table computed %.1f times, want exactly once", float64(got)/float64(len(p.Flows)))
+	}
+	hits, misses := c.Stats()
+	if misses != 1 {
+		t.Fatalf("misses = %d, want 1", misses)
+	}
+	if hits+c.Coalesced() != workers-1 {
+		t.Fatalf("hits (%d) + coalesced (%d) = %d, want %d", hits, c.Coalesced(), hits+c.Coalesced(), workers-1)
+	}
+}
+
+// panicOnceAlgo panics on its first Route call and behaves normally
+// afterwards, modelling a build blowing up mid-flight.
+type panicOnceAlgo struct {
+	Algorithm
+	key   string
+	calls *atomic.Int64
+}
+
+func (a panicOnceAlgo) CacheKey() string { return a.key }
+
+func (a panicOnceAlgo) Route(s, d int) xgft.Route {
+	if a.calls.Add(1) == 1 {
+		panic("boom")
+	}
+	return a.Algorithm.Route(s, d)
+}
+
+// TestTableCacheBuildPanicUnwedges checks that a panicking build does
+// not leave its key wedged: the panic propagates to the caller, and a
+// retry of the same key computes instead of hanging on a dead
+// in-flight entry.
+func TestTableCacheBuildPanicUnwedges(t *testing.T) {
+	tp := cacheTestTopo(t)
+	p := pattern.Shift(tp.Leaves(), 1, 1)
+	c := NewTableCache(8)
+	var calls atomic.Int64
+	algo := panicOnceAlgo{Algorithm: NewDModK(tp), key: "panic-once", calls: &calls}
+
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("panic did not propagate to the building caller")
+			}
+		}()
+		c.Build(tp, algo, p)
+	}()
+
+	done := make(chan error, 1)
+	go func() {
+		tbl, err := c.Build(tp, algo, p)
+		if err == nil && tbl == nil {
+			err = fmt.Errorf("nil table with nil error")
+		}
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("retry after panic: %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("retry after panic hung on the wedged in-flight entry")
 	}
 }

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/xgft"
+)
+
+// Incremental table patching for degraded fabrics. When links or
+// switches fail, only the routes whose paths traverse a failed
+// element need new paths; everything else stays byte-identical. The
+// replacement search enumerates the pair's alternative NCAs (every
+// W-digit combination of the ascent) starting from a keyed-hash
+// offset, so repair load spreads over the surviving roots instead of
+// piling onto the lowest-numbered one, while remaining a pure
+// function of (pair, view) — patched tables are reproducible.
+
+// PatchStats summarizes one patch pass.
+type PatchStats struct {
+	// Examined counts non-self routes checked against the view.
+	Examined int
+	// Rerouted counts routes that traversed a failed element and were
+	// assigned a surviving path.
+	Rerouted int
+	// Unreachable counts routes for which no minimal path survives;
+	// their table entries have Up == nil (see Table docs).
+	Unreachable int
+}
+
+// RerouteAvoiding returns a minimal route for r's pair that avoids
+// every failed element of the view. If r already does, it is returned
+// unchanged. The candidate NCAs are scanned in a deterministic
+// keyed-hash order per pair; ok is false when no minimal path
+// survives.
+func RerouteAvoiding(v *xgft.View, r xgft.Route) (out xgft.Route, ok bool) {
+	if v.RouteOK(r) {
+		return r, true
+	}
+	t := v.Topology()
+	l := len(r.Up)
+	count := t.NCACount(l)
+	// Candidate c encodes the ascent digits in mixed radix over
+	// w[0..l-1]; start at a hash of the pair.
+	start := uniform(mix(uint64(r.Src), uint64(r.Dst)), count)
+	cand := xgft.Route{Src: r.Src, Dst: r.Dst, Up: make([]int, l)}
+	for i := 0; i < count; i++ {
+		c := start + i
+		if c >= count {
+			c -= count
+		}
+		for lvl := 0; lvl < l; lvl++ {
+			w := t.W(lvl)
+			cand.Up[lvl] = c % w
+			c /= w
+		}
+		if v.RouteOK(cand) {
+			return cand, true
+		}
+	}
+	return xgft.Route{Src: r.Src, Dst: r.Dst}, false
+}
+
+// PatchTable derives a routing table valid on the degraded view from
+// a table built on the healthy topology: routes that avoid every
+// failed element are shared with the input, the rest are rerouted
+// through surviving NCAs. Pairs with no surviving minimal path get an
+// entry with Up == nil and are counted in stats.Unreachable — callers
+// decide whether a disconnected pair is an error. The input table is
+// not modified.
+func PatchTable(tbl *Table, v *xgft.View) (*Table, PatchStats, error) {
+	if !v.Topology().Equal(tbl.Topo) {
+		return nil, PatchStats{}, fmt.Errorf("core: patch view is over %s, table over %s", v.Topology(), tbl.Topo)
+	}
+	out := &Table{Topo: tbl.Topo, Algo: tbl.Algo, Routes: tbl.Routes}
+	var st PatchStats
+	copied := false
+	for i, r := range tbl.Routes {
+		if r.Src == r.Dst {
+			continue
+		}
+		st.Examined++
+		if v.RouteOK(r) {
+			continue
+		}
+		if !copied {
+			out.Routes = append([]xgft.Route(nil), tbl.Routes...)
+			copied = true
+		}
+		nr, ok := RerouteAvoiding(v, r)
+		if ok {
+			st.Rerouted++
+		} else {
+			st.Unreachable++
+		}
+		out.Routes[i] = nr
+	}
+	return out, st, nil
+}

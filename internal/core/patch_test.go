@@ -1,0 +1,158 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/pattern"
+	"repro/internal/xgft"
+)
+
+func TestRerouteAvoiding(t *testing.T) {
+	tp := xgft.MustNew(2, []int{4, 4}, []int{1, 4})
+	algo := NewDModK(tp)
+	v := xgft.NewView(tp)
+	v.FailLink(1, 0, 1) // kills routes from leaves 0-3 through root digit 1
+
+	n := tp.Leaves()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			r := algo.Route(s, d)
+			nr, ok := RerouteAvoiding(v, r)
+			if !ok {
+				t.Fatalf("pair (%d,%d) unreachable with one failed link", s, d)
+			}
+			if !v.RouteOK(nr) {
+				t.Fatalf("reroute of (%d,%d) still uses a failed wire: %v", s, d, nr)
+			}
+			if err := nr.Validate(tp); err != nil {
+				t.Fatalf("reroute of (%d,%d) invalid: %v", s, d, err)
+			}
+			if !nr.VerifyConnects(tp) {
+				t.Fatalf("reroute of (%d,%d) does not connect: %v", s, d, nr)
+			}
+			if v.RouteOK(r) && &r.Up != &nr.Up {
+				// Healthy routes must come back unchanged.
+				for i := range r.Up {
+					if r.Up[i] != nr.Up[i] {
+						t.Fatalf("healthy route (%d,%d) was rewritten: %v -> %v", s, d, r.Up, nr.Up)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRerouteDeterministic(t *testing.T) {
+	tp := xgft.MustNew(2, []int{4, 4}, []int{1, 4})
+	v := xgft.NewView(tp)
+	v.FailLink(1, 0, 0)
+	v.FailLink(1, 0, 1)
+	r := NewDModK(tp).Route(0, 4)
+	a, okA := RerouteAvoiding(v, r)
+	b, okB := RerouteAvoiding(v, r)
+	if okA != okB || len(a.Up) != len(b.Up) {
+		t.Fatalf("reroute not deterministic: %v/%v vs %v/%v", a, okA, b, okB)
+	}
+	for i := range a.Up {
+		if a.Up[i] != b.Up[i] {
+			t.Fatalf("reroute not deterministic: %v vs %v", a.Up, b.Up)
+		}
+	}
+}
+
+func TestRerouteUnreachable(t *testing.T) {
+	tp := xgft.MustNew(2, []int{4, 4}, []int{1, 4})
+	v := xgft.NewView(tp)
+	// Cut every up-link of leaf switch 0: leaves 0-3 cannot reach any
+	// other leaf switch.
+	for p := 0; p < 4; p++ {
+		v.FailLink(1, 0, p)
+	}
+	r := NewDModK(tp).Route(0, 4)
+	nr, ok := RerouteAvoiding(v, r)
+	if ok {
+		t.Fatalf("severed pair reported reachable via %v", nr)
+	}
+	if nr.Up != nil || nr.Src != 0 || nr.Dst != 4 {
+		t.Fatalf("unreachable sentinel malformed: %+v", nr)
+	}
+	// Pairs under the severed switch still route (NCA level 1).
+	if _, ok := RerouteAvoiding(v, NewDModK(tp).Route(0, 1)); !ok {
+		t.Fatalf("intra-switch pair reported unreachable")
+	}
+}
+
+func TestPatchTable(t *testing.T) {
+	tp := xgft.MustNew(2, []int{4, 4}, []int{1, 4})
+	algo := NewDModK(tp)
+	p := pattern.AllToAll(tp.Leaves(), 1)
+	tbl, err := BuildTable(tp, algo, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Healthy view: the table is shared, nothing is rerouted.
+	v := xgft.NewView(tp)
+	same, st, err := PatchTable(tbl, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rerouted != 0 || st.Unreachable != 0 {
+		t.Fatalf("healthy patch rerouted: %+v", st)
+	}
+	if &same.Routes[0] != &tbl.Routes[0] {
+		t.Fatalf("healthy patch copied the route slice")
+	}
+
+	v.FailLink(1, 2, 3)
+	patched, st, err := PatchTable(tbl, v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Rerouted == 0 {
+		t.Fatalf("failed link patched no routes: %+v", st)
+	}
+	if st.Unreachable != 0 {
+		t.Fatalf("single link failure severed pairs: %+v", st)
+	}
+	if st.Examined != len(p.Flows) {
+		t.Fatalf("examined %d of %d flows", st.Examined, len(p.Flows))
+	}
+	for i, r := range patched.Routes {
+		if r.Src == r.Dst {
+			continue
+		}
+		if !v.RouteOK(r) {
+			t.Fatalf("patched route %d still failed: %v", i, r)
+		}
+		if !r.VerifyConnects(tp) {
+			t.Fatalf("patched route %d does not connect: %v", i, r)
+		}
+	}
+	// The input table is untouched: d-mod-k routes to destinations with
+	// root digit 3 under switch 2 still use the failed wire.
+	broken := 0
+	for _, r := range tbl.Routes {
+		if r.Src != r.Dst && !v.RouteOK(r) {
+			broken++
+		}
+	}
+	if broken != st.Rerouted {
+		t.Fatalf("input table mutated: %d broken routes remain, %d were rerouted", broken, st.Rerouted)
+	}
+}
+
+func TestPatchTableTopologyMismatch(t *testing.T) {
+	tp := xgft.MustNew(2, []int{4, 4}, []int{1, 4})
+	other := xgft.MustNew(2, []int{4, 4}, []int{1, 2})
+	tbl, err := BuildTable(tp, NewDModK(tp), pattern.Shift(tp.Leaves(), 1, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := PatchTable(tbl, xgft.NewView(other)); err == nil {
+		t.Fatalf("mismatched view accepted")
+	}
+}

@@ -1,0 +1,89 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hashutil"
+	"repro/internal/xgft"
+)
+
+func benchFabric(b *testing.B) *Fabric {
+	b.Helper()
+	tp := xgft.MustNew(2, []int{16, 16}, []int{1, 16})
+	f, err := New(Config{Topo: tp, Algo: core.NewDModK(tp)})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkResolve measures single-pair lock-free resolution on a
+// cached generation.
+func BenchmarkResolve(b *testing.B) {
+	f := benchFabric(b)
+	n := f.Topology().Leaves()
+	h := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h = hashutil.Splitmix64(h)
+		s := int(h % uint64(n))
+		d := int(h >> 32 % uint64(n))
+		if _, ok := f.Resolve(s, d); !ok {
+			b.Fatal("resolve failed")
+		}
+	}
+}
+
+// BenchmarkResolveBatch measures bulk resolution throughput; the
+// routes/s metric is the fabric's serving-rate headline (target:
+// >= 1M routes/s on a cached generation).
+func BenchmarkResolveBatch(b *testing.B) {
+	f := benchFabric(b)
+	n := f.Topology().Leaves()
+	const batch = 4096
+	pairs := make([][2]int, batch)
+	out := make([]xgft.Route, batch)
+	h := uint64(1)
+	for i := range pairs {
+		h = hashutil.Splitmix64(h)
+		pairs[i] = [2]int{int(h % uint64(n)), int(h >> 32 % uint64(n))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ResolveBatch(pairs, out)
+	}
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "routes/s")
+}
+
+// BenchmarkFailLinkSwap measures a full degrade cycle: incremental
+// patch, deadlock verification, and generation swap.
+func BenchmarkFailLinkSwap(b *testing.B) {
+	f := benchFabric(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.FailLink(1, i%16, i/16%16); err != nil {
+			b.StopTimer()
+			if _, err := f.Heal(); err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			continue
+		}
+	}
+}
+
+// BenchmarkHeal measures a cache-served full rebuild (the hot-swap
+// back to the healthy table).
+func BenchmarkHeal(b *testing.B) {
+	f := benchFabric(b)
+	if _, err := f.FailLink(1, 0, 0); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Heal(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,259 @@
+// Package fabric is the subnet-manager subsystem: it compiles a
+// routing scheme into an all-pairs route store and serves it to
+// concurrent Resolve queries while handling fabric degradation. The
+// store is immutable per generation and reached through one atomic
+// pointer, so resolution is lock-free; FailLink/FailSwitch derive a
+// degraded topology view, incrementally recompute only the routes
+// whose paths traverse the failed element, certify the patched table
+// deadlock-free, and hot-swap the generation pointer. The paper's
+// routes were "supplied, along with the topology and mapping, to the
+// Venus simulator" by exactly this offline role.
+package fabric
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/xgft"
+)
+
+// maxHeight bounds fabrics to topologies whose routes pack into one
+// word (a byte per level); realistic fat trees are h <= 6.
+const maxHeight = 8
+
+// Config parameterizes a fabric.
+type Config struct {
+	// Topo is the healthy topology. Required; Height must be <= 8 and
+	// every W(l) <= 255 (the packed-route limits).
+	Topo *xgft.Topology
+	// Algo computes the healthy routes. Required. Schemes
+	// implementing core.CacheKeyer are served from the table cache.
+	Algo core.Algorithm
+	// Cache serves full (healthy) table builds; nil creates a private
+	// cache. Sharing one cache across fabrics and experiment sweeps
+	// deduplicates identical builds, including concurrent ones
+	// (singleflight coalescing in core.TableCache).
+	Cache *core.TableCache
+}
+
+// Fabric serves routing decisions for one topology under one scheme,
+// surviving link and switch failures by generation swaps. All methods
+// are safe for concurrent use: Resolve/ResolveBatch are lock-free
+// reads of the current generation; fault and heal operations
+// serialize on an internal mutex and never block readers.
+type Fabric struct {
+	topo  *xgft.Topology
+	algo  core.Algorithm
+	cache *core.TableCache
+	pairs *pattern.Pattern // all-pairs probe pattern, shard fill order
+
+	mu  sync.Mutex // serializes generation changes
+	gen atomic.Pointer[Generation]
+}
+
+// New builds a fabric and compiles its initial healthy generation
+// (generation 0) synchronously, so a returned fabric always resolves.
+func New(cfg Config) (*Fabric, error) {
+	if cfg.Topo == nil {
+		return nil, fmt.Errorf("fabric: Config.Topo is required")
+	}
+	if cfg.Algo == nil {
+		return nil, fmt.Errorf("fabric: Config.Algo is required")
+	}
+	if cfg.Topo.Height() > maxHeight {
+		return nil, fmt.Errorf("fabric: height %d exceeds the packed-route limit %d", cfg.Topo.Height(), maxHeight)
+	}
+	for l := 0; l < cfg.Topo.Height(); l++ {
+		if cfg.Topo.W(l) > 255 {
+			return nil, fmt.Errorf("fabric: W(%d)=%d exceeds the packed-route limit 255", l, cfg.Topo.W(l))
+		}
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = core.NewTableCache(8)
+	}
+	f := &Fabric{
+		topo:  cfg.Topo,
+		algo:  cfg.Algo,
+		cache: cache,
+		pairs: pattern.AllToAll(cfg.Topo.Leaves(), 1),
+	}
+	gen, err := f.buildHealthy(0)
+	if err != nil {
+		return nil, err
+	}
+	f.gen.Store(gen)
+	return f, nil
+}
+
+// Topology returns the healthy topology the fabric serves.
+func (f *Fabric) Topology() *xgft.Topology { return f.topo }
+
+// Generation returns the current (immutable) generation.
+func (f *Fabric) Generation() *Generation { return f.gen.Load() }
+
+// Stats returns the current generation's statistics.
+func (f *Fabric) Stats() Stats { return f.gen.Load().Stats() }
+
+// Resolve returns the installed route from src to dst in the current
+// generation; ok is false for out-of-range or unreachable pairs.
+func (f *Fabric) Resolve(src, dst int) (xgft.Route, bool) {
+	return f.gen.Load().Resolve(src, dst)
+}
+
+// ResolveBatch resolves pairs[i] into out[i] against one consistent
+// generation and returns how many resolved. out must be at least as
+// long as pairs.
+func (f *Fabric) ResolveBatch(pairs [][2]int, out []xgft.Route) int {
+	return f.gen.Load().ResolveBatch(pairs, out)
+}
+
+// buildHealthy compiles a full healthy generation through the table
+// cache. CacheHit is exact for a private cache and best-effort for a
+// shared one (it compares hit counters around the build).
+func (f *Fabric) buildHealthy(seq uint64) (*Generation, error) {
+	start := time.Now()
+	h0, _ := f.cache.Stats()
+	tbl, err := f.cache.Build(f.topo, f.algo, f.pairs)
+	if err != nil {
+		return nil, err
+	}
+	h1, _ := f.cache.Stats()
+	if err := contention.VerifyDeadlockFree(f.topo, tbl.Routes); err != nil {
+		return nil, fmt.Errorf("fabric: healthy table rejected: %w", err)
+	}
+	n := f.topo.Leaves()
+	shards := make([][]uint64, n)
+	for s := range shards {
+		shards[s] = make([]uint64, n)
+	}
+	for i, fl := range f.pairs.Flows {
+		shards[fl.Src][fl.Dst] = packRoute(tbl.Routes[i])
+	}
+	return &Generation{
+		topo:   f.topo,
+		view:   xgft.NewView(f.topo),
+		shards: shards,
+		stats: Stats{
+			Seq:       seq,
+			Algo:      f.algo.Name(),
+			Routes:    len(f.pairs.Flows),
+			CacheHit:  h1 > h0,
+			BuildTime: time.Since(start),
+		},
+	}, nil
+}
+
+// FailLink fails the wire leaving switch (level, index) through
+// up-port p (and its paired down channel), patches the affected
+// routes, verifies the result deadlock-free, and swaps in the new
+// generation. The returned stats describe the swapped-in generation.
+func (f *Fabric) FailLink(level, index, p int) (Stats, error) {
+	return f.degrade(func(v *xgft.View) bool { return v.FailLink(level, index, p) },
+		fmt.Sprintf("link (%d,%d) port %d", level, index, p))
+}
+
+// FailSwitch fails the switch (level, index) with every adjacent
+// wire, patches the affected routes, verifies, and swaps.
+func (f *Fabric) FailSwitch(level, index int) (Stats, error) {
+	return f.degrade(func(v *xgft.View) bool { return v.FailSwitch(level, index) },
+		fmt.Sprintf("switch (%d,%d)", level, index))
+}
+
+// degrade applies one fault to a clone of the current view, patches
+// incrementally, and publishes the result.
+func (f *Fabric) degrade(fail func(*xgft.View) bool, what string) (Stats, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := f.gen.Load()
+	view := cur.view.Clone()
+	if !fail(view) {
+		return cur.stats, fmt.Errorf("fabric: %s is out of range or already failed", what)
+	}
+	gen, err := f.patch(cur, view)
+	if err != nil {
+		return cur.stats, err
+	}
+	f.gen.Store(gen)
+	return gen.stats, nil
+}
+
+// patch builds cur's successor under the (strictly larger) fault
+// view. Only routes that traverse a newly failed wire are recomputed;
+// untouched source shards are shared with cur. The patched route set
+// must pass VerifyDeadlockFree or the swap is refused.
+func (f *Fabric) patch(cur *Generation, view *xgft.View) (*Generation, error) {
+	start := time.Now()
+	n := f.topo.Leaves()
+	shards := make([][]uint64, n)
+	copy(shards, cur.shards)
+	patched, unreachable := 0, 0
+	for s := 0; s < n; s++ {
+		var row []uint64 // copy-on-write clone of cur.shards[s]
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			packed := cur.shards[s][d]
+			if packed == unreachablePacked {
+				unreachable++
+				continue
+			}
+			if packedRouteOK(view, f.topo, s, d, packed) {
+				continue
+			}
+			if row == nil {
+				row = append([]uint64(nil), cur.shards[s]...)
+				shards[s] = row
+			}
+			r, _ := cur.Resolve(s, d)
+			nr, ok := core.RerouteAvoiding(view, r)
+			if !ok {
+				row[d] = unreachablePacked
+				unreachable++
+				continue
+			}
+			row[d] = packRoute(nr)
+			patched++
+		}
+	}
+	gen := &Generation{
+		topo:   f.topo,
+		view:   view,
+		shards: shards,
+		stats: Stats{
+			Seq:            cur.stats.Seq + 1,
+			Algo:           cur.stats.Algo,
+			Routes:         len(f.pairs.Flows) - unreachable,
+			Patched:        patched,
+			Unreachable:    unreachable,
+			FailedWires:    view.FailedWires(),
+			FailedSwitches: len(view.FailedSwitches()),
+		},
+	}
+	if err := contention.VerifyDeadlockFree(f.topo, gen.Routes()); err != nil {
+		return nil, fmt.Errorf("fabric: patched table rejected, keeping generation %d: %w", cur.stats.Seq, err)
+	}
+	gen.stats.BuildTime = time.Since(start)
+	return gen, nil
+}
+
+// Heal recompiles the healthy table (a cache hit when the scheme is
+// memoizable), discarding every recorded fault, and swaps it in as
+// the next generation.
+func (f *Fabric) Heal() (Stats, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cur := f.gen.Load()
+	gen, err := f.buildHealthy(cur.stats.Seq + 1)
+	if err != nil {
+		return cur.stats, err
+	}
+	f.gen.Store(gen)
+	return gen.stats, nil
+}

@@ -1,0 +1,310 @@
+package fabric
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/hashutil"
+	"repro/internal/xgft"
+)
+
+func testFabric(t *testing.T, algo func(*xgft.Topology) core.Algorithm) *Fabric {
+	t.Helper()
+	tp := xgft.MustNew(2, []int{8, 8}, []int{1, 8})
+	f, err := New(Config{Topo: tp, Algo: algo(tp)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func TestNewResolvesAllPairs(t *testing.T) {
+	f := testFabric(t, core.NewDModK)
+	tp := f.Topology()
+	st := f.Stats()
+	if st.Seq != 0 || st.Algo != "d-mod-k" {
+		t.Fatalf("initial stats %+v", st)
+	}
+	if st.Routes != tp.Leaves()*(tp.Leaves()-1) {
+		t.Fatalf("initial generation resolves %d routes, want %d", st.Routes, tp.Leaves()*(tp.Leaves()-1))
+	}
+	algo := core.NewDModK(tp)
+	n := tp.Leaves()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			r, ok := f.Resolve(s, d)
+			if !ok {
+				t.Fatalf("healthy fabric failed to resolve (%d,%d)", s, d)
+			}
+			if s == d {
+				if len(r.Up) != 0 {
+					t.Fatalf("self pair resolved to %v", r)
+				}
+				continue
+			}
+			want := algo.Route(s, d)
+			if len(r.Up) != len(want.Up) {
+				t.Fatalf("resolve (%d,%d) = %v, want %v", s, d, r, want)
+			}
+			for i := range r.Up {
+				if r.Up[i] != want.Up[i] {
+					t.Fatalf("resolve (%d,%d) = %v, want %v", s, d, r, want)
+				}
+			}
+		}
+	}
+	if _, ok := f.Resolve(-1, 0); ok {
+		t.Fatal("out-of-range source resolved")
+	}
+	if _, ok := f.Resolve(0, n); ok {
+		t.Fatal("out-of-range destination resolved")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	tp := xgft.MustNew(2, []int{4, 4}, []int{1, 4})
+	if _, err := New(Config{Algo: core.NewDModK(tp)}); err == nil {
+		t.Fatal("nil topology accepted")
+	}
+	if _, err := New(Config{Topo: tp}); err == nil {
+		t.Fatal("nil algorithm accepted")
+	}
+}
+
+func TestFailLinkSwapsGeneration(t *testing.T) {
+	f := testFabric(t, func(tp *xgft.Topology) core.Algorithm { return core.NewRandom(tp, 3) })
+	tp := f.Topology()
+	st, err := f.FailLink(1, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seq != 1 || st.Patched == 0 || st.Unreachable != 0 || st.FailedWires != 1 {
+		t.Fatalf("post-failure stats %+v", st)
+	}
+	gen := f.Generation()
+	failed := tp.UpChannelID(1, 0, 2)
+	for _, r := range gen.Routes() {
+		r.Walk(tp, func(_, _, _, wire int, _ bool) {
+			if wire == failed {
+				t.Fatalf("route %v still traverses the failed wire", r)
+			}
+		})
+		if !r.VerifyConnects(tp) {
+			t.Fatalf("patched route %v does not connect", r)
+		}
+	}
+	if err := contention.VerifyDeadlockFree(tp, gen.Routes()); err != nil {
+		t.Fatalf("patched generation not deadlock-free: %v", err)
+	}
+	// Double failure of the same link is refused without a swap.
+	if _, err := f.FailLink(1, 0, 2); err == nil {
+		t.Fatal("re-failing a dead link succeeded")
+	}
+	if f.Stats().Seq != 1 {
+		t.Fatalf("refused failure still swapped: seq %d", f.Stats().Seq)
+	}
+}
+
+func TestFailSwitchAndUnreachable(t *testing.T) {
+	f := testFabric(t, core.NewDModK)
+	tp := f.Topology()
+	// Failing leaf switch 0 severs its 8 leaves entirely: every pair
+	// crossing the switch (8*56 in each direction) plus the 8*7
+	// intra-switch pairs whose only NCA it is.
+	st, err := f.FailSwitch(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSevered := 2*8*(tp.Leaves()-8) + 8*7
+	if st.Unreachable != wantSevered {
+		t.Fatalf("severed %d pairs, want %d", st.Unreachable, wantSevered)
+	}
+	if st.FailedSwitches != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if _, ok := f.Resolve(0, 8); ok {
+		t.Fatal("severed cross-switch pair still resolves")
+	}
+	if _, ok := f.Resolve(0, 1); ok {
+		t.Fatal("intra-switch pair under the failed switch still resolves")
+	}
+	if r, ok := f.Resolve(8, 9); !ok || !f.Generation().View().RouteOK(r) {
+		t.Fatalf("unaffected pair broken: ok=%v r=%v", ok, r)
+	}
+}
+
+func TestHealRestores(t *testing.T) {
+	cache := core.NewTableCache(8)
+	tp := xgft.MustNew(2, []int{8, 8}, []int{1, 8})
+	f, err := New(Config{Topo: tp, Algo: core.NewDModK(tp), Cache: cache})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.FailLink(1, 3, 3); err != nil {
+		t.Fatal(err)
+	}
+	st, err := f.Heal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Seq != 2 || st.FailedWires != 0 || st.Unreachable != 0 {
+		t.Fatalf("healed stats %+v", st)
+	}
+	if !st.CacheHit {
+		t.Fatalf("heal of a memoizable scheme missed the cache: %+v", st)
+	}
+	algo := core.NewDModK(tp)
+	r, ok := f.Resolve(0, 60)
+	want := algo.Route(0, 60)
+	if !ok || r.Up[1] != want.Up[1] {
+		t.Fatalf("healed fabric resolves %v, want %v", r, want)
+	}
+}
+
+// TestConcurrentResolveDuringSwap is the generation hot-swap race
+// test: resolver goroutines hammer Resolve and ResolveBatch while the
+// main goroutine fails a link and heals, repeatedly. Every resolved
+// route must be well-formed and connect (no torn reads), and once
+// FailLink returns, every resolve must avoid the failed link. Run
+// with -race.
+func TestConcurrentResolveDuringSwap(t *testing.T) {
+	f := testFabric(t, func(tp *xgft.Topology) core.Algorithm { return core.NewRandomNCAUp(tp, 1) })
+	tp := f.Topology()
+	n := tp.Leaves()
+	failedWire := tp.UpChannelID(1, 0, 5)
+
+	var stop atomic.Bool
+	var resolves atomic.Int64
+	var wg sync.WaitGroup
+	errs := make(chan error, 16)
+	fail := func(err error) {
+		select {
+		case errs <- err:
+		default:
+		}
+	}
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := uint64(g + 1)
+			pairs := make([][2]int, 64)
+			out := make([]xgft.Route, len(pairs))
+			for !stop.Load() {
+				// A consistent snapshot: the whole batch reads one
+				// generation even if a swap lands mid-call.
+				gen := f.Generation()
+				for i := range pairs {
+					h = hashutil.Splitmix64(h)
+					s := int(h % uint64(n))
+					d := int(h >> 32 % uint64(n))
+					pairs[i] = [2]int{s, d}
+				}
+				gen.ResolveBatch(pairs, out)
+				view := gen.View()
+				for i, r := range out {
+					if pairs[i][0] == pairs[i][1] {
+						continue
+					}
+					if err := r.Validate(tp); err != nil {
+						fail(err)
+						return
+					}
+					if !r.VerifyConnects(tp) {
+						fail(errItem{s: "torn route", r: r})
+						return
+					}
+					if !view.RouteOK(r) {
+						fail(errItem{s: "route violates its own generation's view", r: r})
+						return
+					}
+				}
+				resolves.Add(int64(len(out)))
+			}
+		}(g)
+	}
+
+	// Wait until every resolver has completed at least one batch, so
+	// the swaps below genuinely race with live traffic.
+	for resolves.Load() < 8*64 && len(errs) == 0 {
+		runtime.Gosched()
+	}
+
+	for round := 0; round < 3; round++ {
+		st, err := f.FailLink(1, 0, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Patched == 0 {
+			t.Fatalf("round %d: failure patched nothing: %+v", round, st)
+		}
+		// FailLink has returned: every new resolve must avoid the
+		// failed wire.
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				r, ok := f.Resolve(s, d)
+				if s == d {
+					continue
+				}
+				if !ok {
+					t.Fatalf("pair (%d,%d) unreachable after single link failure", s, d)
+				}
+				uses := false
+				r.Walk(tp, func(_, _, _, wire int, _ bool) {
+					if wire == failedWire {
+						uses = true
+					}
+				})
+				if uses {
+					t.Fatalf("post-swap resolve (%d,%d) = %v still uses failed wire", s, d, r)
+				}
+			}
+		}
+		if _, err := f.Heal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+	if resolves.Load() == 0 {
+		t.Fatal("resolver goroutines made no progress")
+	}
+}
+
+type errItem struct {
+	s string
+	r xgft.Route
+}
+
+func (e errItem) Error() string { return e.s }
+
+// TestPackedRouteOKMatchesView pins the allocation-free packed check
+// used on the patch path to the reference View.RouteOK.
+func TestPackedRouteOKMatchesView(t *testing.T) {
+	f := testFabric(t, func(tp *xgft.Topology) core.Algorithm { return core.NewRandom(tp, 9) })
+	tp := f.Topology()
+	v := xgft.NewView(tp)
+	v.FailLink(1, 2, 4)
+	v.FailLink(0, 17, 0)
+	gen := f.Generation()
+	n := tp.Leaves()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			r, _ := gen.Resolve(s, d)
+			if got, want := packedRouteOK(v, tp, s, d, gen.shards[s][d]), v.RouteOK(r); got != want {
+				t.Fatalf("packedRouteOK(%d,%d) = %v, RouteOK = %v for %v", s, d, got, want, r)
+			}
+		}
+	}
+}

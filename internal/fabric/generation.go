@@ -1,0 +1,154 @@
+package fabric
+
+import (
+	"time"
+
+	"repro/internal/xgft"
+)
+
+// unreachablePacked marks a pair with no surviving minimal path. It
+// cannot collide with a real packed route: every real digit is at
+// most W(l)-1 <= 254, so a packed route never has an all-ones byte.
+const unreachablePacked = ^uint64(0)
+
+// Stats describes one generation of the route store.
+type Stats struct {
+	// Seq is the generation sequence number; 0 is the initial healthy
+	// build, each swap increments it.
+	Seq uint64
+	// Algo is the routing scheme the generation was compiled from.
+	Algo string
+	// Routes counts the resolvable (non-self, reachable) pairs.
+	Routes int
+	// Patched counts the routes rerouted relative to the previous
+	// generation (0 for full rebuilds).
+	Patched int
+	// Unreachable counts pairs with no surviving minimal path.
+	Unreachable int
+	// FailedWires and FailedSwitches describe the generation's fault
+	// set.
+	FailedWires    int
+	FailedSwitches int
+	// CacheHit reports whether a full rebuild was served from the
+	// routing-table cache (always false for incremental patches).
+	CacheHit bool
+	// BuildTime is the wall time spent compiling, patching and
+	// verifying the generation before it was swapped in.
+	BuildTime time.Duration
+}
+
+// Generation is one immutable epoch of the fabric's route store: an
+// all-pairs route table sharded by source leaf, each shard one packed
+// word per destination. Generations are never mutated after
+// construction, so any number of Resolve calls can read one while the
+// fabric compiles its successor.
+type Generation struct {
+	topo   *xgft.Topology
+	view   *xgft.View
+	shards [][]uint64 // [src][dst]: ascent digits packed a byte per level
+	stats  Stats
+}
+
+// packRoute packs the ascent digits a byte per level. Safe because
+// New enforces Height <= 8 and W <= 255.
+func packRoute(r xgft.Route) uint64 {
+	var p uint64
+	for i, port := range r.Up {
+		p |= uint64(port) << (8 * uint(i))
+	}
+	return p
+}
+
+// packedRouteOK is View.RouteOK over a packed route without
+// materializing it — the fault-repair path checks every pair, so the
+// common (healthy-route) case must not allocate.
+func packedRouteOK(v *xgft.View, t *xgft.Topology, src, dst int, packed uint64) bool {
+	l := t.NCALevel(src, dst)
+	idx := src
+	for i := 0; i < l; i++ {
+		p := int(packed >> (8 * uint(i)) & 0xff)
+		if v.WireFailed(t.UpChannelID(i, idx, p)) {
+			return false
+		}
+		idx = t.Parent(i, idx, p)
+	}
+	idx = dst
+	for i := 0; i < l; i++ {
+		p := int(packed >> (8 * uint(i)) & 0xff)
+		if v.WireFailed(t.UpChannelID(i, idx, p)) {
+			return false
+		}
+		idx = t.Parent(i, idx, p)
+	}
+	return true
+}
+
+// Seq returns the generation sequence number.
+func (g *Generation) Seq() uint64 { return g.stats.Seq }
+
+// Stats returns the generation's build statistics.
+func (g *Generation) Stats() Stats { return g.stats }
+
+// Topology returns the healthy topology the fabric serves.
+func (g *Generation) Topology() *xgft.Topology { return g.topo }
+
+// View returns the generation's fault overlay. The returned view is
+// frozen — callers must Clone before mutating.
+func (g *Generation) View() *xgft.View { return g.view }
+
+// Resolve returns the installed route for the pair. ok is false when
+// the pair is out of range or currently unreachable; src == dst
+// resolves to the empty route.
+func (g *Generation) Resolve(src, dst int) (r xgft.Route, ok bool) {
+	n := g.topo.Leaves()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return xgft.Route{}, false
+	}
+	r = xgft.Route{Src: src, Dst: dst}
+	if src == dst {
+		return r, true
+	}
+	packed := g.shards[src][dst]
+	if packed == unreachablePacked {
+		return xgft.Route{}, false
+	}
+	l := g.topo.NCALevel(src, dst)
+	r.Up = make([]int, l)
+	for i := 0; i < l; i++ {
+		r.Up[i] = int(packed >> (8 * uint(i)) & 0xff)
+	}
+	return r, true
+}
+
+// ResolveBatch resolves pairs[i] into out[i] and returns how many
+// resolved; unresolved slots are zeroed. out must be at least as long
+// as pairs.
+func (g *Generation) ResolveBatch(pairs [][2]int, out []xgft.Route) (resolved int) {
+	for i, p := range pairs {
+		r, ok := g.Resolve(p[0], p[1])
+		out[i] = r
+		if ok {
+			resolved++
+		}
+	}
+	return resolved
+}
+
+// Routes decodes every resolvable non-self route of the generation,
+// in (src, dst) order — the full table a subnet manager would
+// install, and the input VerifyDeadlockFree certifies.
+func (g *Generation) Routes() []xgft.Route {
+	n := g.topo.Leaves()
+	out := make([]xgft.Route, 0, g.stats.Routes)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			if r, ok := g.Resolve(s, d); ok {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}

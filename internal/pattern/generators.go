@@ -230,3 +230,10 @@ func UniformRandom(n, flowsPerNode int, bytes int64, rng *rand.Rand) *Pattern {
 func RandomPermutationPattern(n int, bytes int64, rng *rand.Rand) *Pattern {
 	return RandomPerm(n, rng).Pattern(bytes)
 }
+
+// KeyedRandomPermutation draws a uniform random permutation pattern
+// from the keyed splitmix64 stream — deterministic per (seed, n) with
+// no rand.Rand state (see KeyedPerm).
+func KeyedRandomPermutation(n int, bytes int64, seed uint64) *Pattern {
+	return KeyedPerm(n, seed).Pattern(bytes)
+}

@@ -255,6 +255,22 @@ func RandomPerm(n int, rng *rand.Rand) Perm {
 	return Perm(rng.Perm(n))
 }
 
+// KeyedPerm draws a uniform full permutation on n points from the
+// keyed splitmix64 stream: a pure function of (seed, n), so the same
+// seed names the same permutation on every platform and Go version —
+// the coordinate-derived-randomness rule the routing schemes follow,
+// available to workload generators.
+func KeyedPerm(n int, seed uint64) Perm {
+	p := Identity(n)
+	// Fisher–Yates with hash-derived draws; modulo bias over i+1 is
+	// negligible at fat-tree scales (i+1 << 2^64).
+	for i := n - 1; i > 0; i-- {
+		j := int(hashutil.Mix(seed, uint64(i)) % uint64(i+1))
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
 // RandomDerangementLike draws a random permutation and retries a few
 // times to avoid fixed points; used by traffic generators that want
 // every node to actually send. If fixed points survive, they remain

@@ -17,7 +17,10 @@
 //     slowdown bounds) and the event-driven network simulator with the
 //     MPI trace replay engine,
 //   - the experiment harnesses that regenerate every table and figure
-//     of the paper.
+//     of the paper,
+//   - the fabric-manager subsystem: a lock-free all-pairs route store
+//     with hot-swappable generations, link/switch-failure handling and
+//     incremental table patching (cmd/fabricd is the daemon).
 //
 // Quick start:
 //
@@ -32,6 +35,7 @@ import (
 	"repro/internal/dimemas"
 	"repro/internal/eventq"
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 	"repro/internal/pattern"
 	"repro/internal/stats"
 	"repro/internal/traces"
@@ -117,6 +121,30 @@ var (
 // form a subnet manager installs), serializable to a text format.
 type FixedTable = core.FixedTable
 
+// TopologyView is a degraded view of a topology: failed wires and
+// switches, and the route-survival queries over them.
+type TopologyView = xgft.View
+
+// SwitchID names a switch as (level, index).
+type SwitchID = xgft.SwitchID
+
+// PatchStats summarizes one incremental table-patch pass.
+type PatchStats = core.PatchStats
+
+// Fabric is the subnet-manager subsystem: a lock-free all-pairs route
+// store with hot-swappable generations and link/switch failure
+// handling (see internal/fabric and cmd/fabricd).
+type Fabric = fabric.Fabric
+
+// FabricConfig parameterizes NewFabric.
+type FabricConfig = fabric.Config
+
+// FabricStats describes one generation of a fabric's route store.
+type FabricStats = fabric.Stats
+
+// FabricGeneration is one immutable epoch of a fabric's route store.
+type FabricGeneration = fabric.Generation
+
 // Routing algorithm constructors.
 var (
 	// NewSModK is the classic source-mod-k self-routing scheme.
@@ -167,6 +195,21 @@ var (
 	ColorBipartiteBalanced = core.ColorBipartiteBalanced
 )
 
+// Fault handling: degraded topology views, incremental table
+// patching, and the fabric-manager subsystem built on them.
+var (
+	// NewTopologyView returns a healthy fault overlay for a topology;
+	// FailWire/FailLink/FailSwitch degrade it.
+	NewTopologyView = xgft.NewView
+	// RerouteAvoiding finds a minimal route around a view's failures.
+	RerouteAvoiding = core.RerouteAvoiding
+	// PatchRoutingTable reroutes exactly the routes of a table that
+	// traverse a failed element.
+	PatchRoutingTable = core.PatchTable
+	// NewFabric compiles a scheme into a serving fabric (generation 0).
+	NewFabric = fabric.New
+)
+
 // Pattern constructors.
 var (
 	// NewPattern returns an empty pattern over n endpoints.
@@ -187,6 +230,10 @@ var (
 	Tornado       = pattern.Tornado
 	AllToAll      = pattern.AllToAll
 	UniformRandom = pattern.UniformRandom
+	// KeyedPerm / KeyedRandomPermutation draw seed-reproducible
+	// permutations from the keyed splitmix64 stream (no rand.Rand).
+	KeyedPerm              = pattern.KeyedPerm
+	KeyedRandomPermutation = pattern.KeyedRandomPermutation
 )
 
 // Contention analysis.
@@ -202,6 +249,9 @@ var (
 	// routing tables from a RoutingTableCache (nil recomputes).
 	AnalyticSlowdownCached       = contention.SlowdownCached
 	AnalyticPhasedSlowdownCached = contention.PhasedSlowdownCached
+	// AnalyticSlowdownRoutes scores an explicit (e.g. patched) route
+	// set instead of an algorithm.
+	AnalyticSlowdownRoutes = contention.SlowdownRoutes
 	// NCAHistogram counts routes per NCA (Fig. 4 view).
 	NCAHistogram = contention.NCAHistogram
 	// VerifyDeadlockFree certifies a route set's channel dependency
@@ -260,10 +310,12 @@ var (
 	Figure4 = experiments.Figure4
 	Figure5 = experiments.Figure5
 	Table1  = experiments.Table1
-	// DeepTreeSweep and BalanceAblation are the extension studies
-	// (three-level XGFT generalization, balanced-map ablation).
+	// DeepTreeSweep, BalanceAblation and FaultSweep are the extension
+	// studies (three-level XGFT generalization, balanced-map
+	// ablation, degraded-topology robustness).
 	DeepTreeSweep   = experiments.DeepTreeSweep
 	BalanceAblation = experiments.BalanceAblation
+	FaultSweep      = experiments.FaultSweep
 	// Summarize computes boxplot statistics.
 	Summarize = stats.Summarize
 )
