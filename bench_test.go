@@ -3,7 +3,6 @@ package repro_test
 import (
 	"fmt"
 	"io"
-	"math/rand"
 	"testing"
 
 	repro "repro"
@@ -184,8 +183,7 @@ func BenchmarkContentionAnalysis(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(3))
-	p := pattern.UniformRandom(256, 4, 64*1024, rng)
+	p := pattern.UniformRandom(256, 4, 64*1024, 3)
 	tbl, err := core.BuildTable(tp, core.NewRandom(tp, 1), p)
 	if err != nil {
 		b.Fatal(err)
@@ -205,8 +203,7 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(5))
-	p := pattern.RandomPermutationPattern(256, 64*1024, rng)
+	p := pattern.KeyedRandomPermutation(256, 64*1024, 5)
 	algo := core.NewRandom(tp, 9)
 	cfg := venus.DefaultConfig()
 	b.ReportAllocs()
@@ -291,8 +288,7 @@ func BenchmarkAblationForwardingMode(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(2))
-	p := pattern.RandomPermutationPattern(256, 32*1024, rng)
+	p := pattern.KeyedRandomPermutation(256, 32*1024, 2)
 	algo := core.NewRandomNCADown(tp, 4)
 	for _, mode := range []struct {
 		name string
@@ -321,8 +317,7 @@ func BenchmarkAblationBufferDepth(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(8))
-	p := pattern.RandomPermutationPattern(256, 32*1024, rng)
+	p := pattern.KeyedRandomPermutation(256, 32*1024, 8)
 	algo := core.NewRandom(tp, 6)
 	for _, depth := range []int{1, 2, 8, 32} {
 		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {

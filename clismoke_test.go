@@ -26,6 +26,7 @@ func TestCLISmoke(t *testing.T) {
 		args []string
 	}{
 		{"experiments", []string{"-table1"}},
+		{"experiments", []string{"-shift", "-seeds", "2"}},
 		{"fabricd", []string{"-demo", "-xgft", "2;8,8;1,8"}},
 		{"routegen", []string{"-xgft", "2;8,8;1,8", "-algo", "r-NCA-d", "-pattern", "shift:1"}},
 		{"routegen", []string{"-xgft", "2;8,8;1,8", "-pattern", "random-perm", "-seed", "3"}},

@@ -7,6 +7,7 @@
 //	experiments -fig4a -fig4b       Fig. 4: routes per NCA
 //	experiments -fig5a -fig5b       Fig. 5: r-NCA-u/d boxplots
 //	experiments -faults             degraded-topology sweep (failed links)
+//	experiments -shift              shifting-traffic sweep (online re-optimization)
 //	experiments -all                everything above
 //
 // By default the fast analytic engine is used; -engine simulated runs
@@ -43,6 +44,7 @@ func main() {
 		fig5b    = flag.Bool("fig5b", false, "Fig. 5b (CG boxplots)")
 		ext      = flag.Bool("ext", false, "extension: three-level XGFT generalization sweep")
 		faults   = flag.Bool("faults", false, "extension: degraded-topology sweep (failed top-level links)")
+		shift    = flag.Bool("shift", false, "extension: shifting-traffic sweep (static d-mod-k vs online re-optimization)")
 		ablate   = flag.Bool("ablation", false, "ablation: balanced vs uniform relabeling")
 		adaptive = flag.Bool("adaptive", false, "extension: adaptive vs oblivious routing")
 		engine   = flag.String("engine", "analytic", "analytic or simulated")
@@ -205,6 +207,22 @@ func main() {
 				experiments.WriteFaultSweep(os.Stdout, app, rows)
 				fmt.Println()
 			}
+			done()
+		}
+	}
+	if *all || *shift {
+		if opt.Engine == experiments.Simulated && !*shift {
+			// Analytic-only, like the fault sweep: during -all with a
+			// simulated engine, skip it visibly rather than abort.
+			fmt.Println("=== Extension — shifting traffic — skipped (analytic engine only) ===")
+			fmt.Println()
+		} else {
+			done := section("Extension — shifting traffic (online re-optimization)")
+			rows, err := experiments.ShiftSweep(opt)
+			if err != nil {
+				fail(err)
+			}
+			experiments.WriteShiftSweep(os.Stdout, rows)
 			done()
 		}
 	}

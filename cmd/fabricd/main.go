@@ -1,26 +1,37 @@
 // Command fabricd runs the fabric-manager daemon: it compiles a
 // routing scheme into an all-pairs route store and serves resolution
 // and fault-handling over HTTP, hot-swapping route generations as
-// links and switches fail (see internal/fabric).
+// links and switches fail (see internal/fabric). With telemetry on
+// (the default) every resolve feeds per-pair flow counters, and the
+// optimizer — on demand via POST /optimize or periodically via
+// -reoptimize — re-fits the routing table to the observed traffic.
 //
 // Usage:
 //
 //	fabricd -xgft "2;16,16;1,16" -algo d-mod-k -addr :7420
 //	fabricd -xgft "2;16,16;1,16" -algo r-NCA-u -seed 7 -addr :7420
+//	fabricd -xgft "2;16,16;1,10" -reoptimize 30s -threshold 0.05
 //	fabricd -demo
 //
 // Endpoints:
 //
 //	GET  /resolve?src=S&dst=D      installed route for the pair
 //	GET  /stats                    current generation statistics
+//	GET  /telemetry                observed traffic (counters, top flows)
+//	POST /optimize                 one re-optimization pass (?threshold=&reset=)
 //	POST /fail-link?level=L&index=I&port=P
 //	POST /fail-switch?level=L&index=I
 //	POST /heal                     recompile the healthy table
 //	GET  /healthz                  liveness
 //
-// -demo runs a scripted failure/heal cycle without binding a port:
-// start, resolve, fail a top-level link, watch the generation swap,
-// measure resolution throughput, heal.
+// Query parameters are bounds-checked against the topology: negative
+// or out-of-range src/dst/level/index/port values are rejected with
+// 400 and a structured error body.
+//
+// -demo runs a scripted cycle without binding a port: start, resolve,
+// fail a top-level link, watch the generation swap, measure
+// resolution throughput, heal, then drive a skewed traffic pattern
+// and watch the optimizer re-fit the table to it.
 package main
 
 import (
@@ -41,15 +52,18 @@ import (
 
 func main() {
 	var (
-		spec = flag.String("xgft", "2;16,16;1,16", `topology as "h;m1,..;w1,.."`)
-		algo = flag.String("algo", "d-mod-k", "routing scheme: "+strings.Join(core.AlgorithmNames(), ", "))
-		seed = flag.Uint64("seed", 1, "seed for randomized schemes")
-		addr = flag.String("addr", ":7420", "HTTP listen address")
-		demo = flag.Bool("demo", false, "run a scripted failure/heal cycle and exit (no server)")
+		spec      = flag.String("xgft", "2;16,16;1,16", `topology as "h;m1,..;w1,.."`)
+		algo      = flag.String("algo", "d-mod-k", "routing scheme: "+strings.Join(core.AlgorithmNames(), ", "))
+		seed      = flag.Uint64("seed", 1, "seed for randomized schemes")
+		addr      = flag.String("addr", ":7420", "HTTP listen address")
+		telemetry = flag.Bool("telemetry", true, "count per-pair flows on the resolve path")
+		reopt     = flag.Duration("reoptimize", 0, "periodic re-optimization interval (0 = only on POST /optimize)")
+		threshold = flag.Float64("threshold", 0.05, "minimum relative slowdown improvement required to swap tables")
+		demo      = flag.Bool("demo", false, "run a scripted failure/heal/re-optimize cycle and exit (no server)")
 	)
 	flag.Parse()
 
-	f, err := build(*spec, *algo, *seed)
+	f, err := build(*spec, *algo, *seed, *telemetry || *demo)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fabricd:", err)
 		os.Exit(2)
@@ -61,14 +75,21 @@ func main() {
 		}
 		return
 	}
+	if *reopt > 0 {
+		if !*telemetry {
+			fmt.Fprintln(os.Stderr, "fabricd: -reoptimize needs -telemetry")
+			os.Exit(2)
+		}
+		go reoptimizeLoop(f, *reopt, *threshold)
+	}
 	fmt.Printf("fabricd: serving %s under %s on %s\n", f.Topology(), *algo, *addr)
-	if err := http.ListenAndServe(*addr, newMux(f)); err != nil {
+	if err := http.ListenAndServe(*addr, newMux(f, *threshold)); err != nil {
 		fmt.Fprintln(os.Stderr, "fabricd:", err)
 		os.Exit(2)
 	}
 }
 
-func build(spec, algoName string, seed uint64) (*fabric.Fabric, error) {
+func build(spec, algoName string, seed uint64, telemetry bool) (*fabric.Fabric, error) {
 	tp, err := xgft.Parse(spec)
 	if err != nil {
 		return nil, err
@@ -77,7 +98,23 @@ func build(spec, algoName string, seed uint64) (*fabric.Fabric, error) {
 	if err != nil {
 		return nil, err
 	}
-	return fabric.New(fabric.Config{Topo: tp, Algo: algo})
+	return fabric.New(fabric.Config{Topo: tp, Algo: algo, Telemetry: telemetry})
+}
+
+// reoptimizeLoop periodically re-fits the table to the traffic
+// observed since the previous pass, logging installed swaps.
+func reoptimizeLoop(f *fabric.Fabric, every time.Duration, threshold float64) {
+	cfg := fabric.OptimizeConfig{Threshold: threshold, Reset: true}
+	for range time.Tick(every) {
+		res, err := f.Optimize(cfg)
+		switch {
+		case err != nil:
+			fmt.Fprintln(os.Stderr, "fabricd: reoptimize:", err)
+		case res.Swapped:
+			fmt.Printf("fabricd: reoptimized to %s (slowdown %.3f -> %.3f over %d pairs), generation %d\n",
+				res.Best, res.Current, res.BestSlowdown, res.Pairs, res.Stats.Seq)
+		}
+	}
 }
 
 // statsJSON is the wire form of fabric.Stats (BuildTime in
@@ -108,22 +145,63 @@ func toJSON(st fabric.Stats) statsJSON {
 	}
 }
 
-func newMux(f *fabric.Fabric) *http.ServeMux {
+// optimizeJSON is the wire form of fabric.OptimizeResult.
+type optimizeJSON struct {
+	Pairs      int             `json:"pairs"`
+	Resolves   int64           `json:"resolves"`
+	Current    float64         `json:"current_slowdown"`
+	Candidates []candidateJSON `json:"candidates"`
+	Best       string          `json:"best"`
+	BestSlow   float64         `json:"best_slowdown"`
+	Swapped    bool            `json:"swapped"`
+	Stats      statsJSON       `json:"stats"`
+}
+
+type candidateJSON struct {
+	Algo     string  `json:"algo"`
+	Slowdown float64 `json:"slowdown"`
+}
+
+func optimizeToJSON(res fabric.OptimizeResult) optimizeJSON {
+	out := optimizeJSON{
+		Pairs:    res.Pairs,
+		Resolves: res.Resolves,
+		Current:  res.Current,
+		Best:     res.Best,
+		BestSlow: res.BestSlowdown,
+		Swapped:  res.Swapped,
+		Stats:    toJSON(res.Stats),
+	}
+	for _, c := range res.Candidates {
+		out.Candidates = append(out.Candidates, candidateJSON{Algo: c.Algo, Slowdown: c.Slowdown})
+	}
+	return out
+}
+
+type errJSON struct {
+	Error string `json:"error"`
+}
+
+// intArgIn parses query parameter name as an integer in [lo, hi]; a
+// missing, malformed or out-of-range value is a client error.
+func intArgIn(r *http.Request, name string, lo, hi int) (int, error) {
+	v, err := strconv.Atoi(r.URL.Query().Get(name))
+	if err != nil {
+		return 0, fmt.Errorf("bad or missing %q: %v", name, err)
+	}
+	if v < lo || v > hi {
+		return 0, fmt.Errorf("%q=%d out of range [%d,%d]", name, v, lo, hi)
+	}
+	return v, nil
+}
+
+func newMux(f *fabric.Fabric, threshold float64) *http.ServeMux {
+	tp := f.Topology()
 	mux := http.NewServeMux()
 	reply := func(w http.ResponseWriter, code int, v any) {
 		w.Header().Set("Content-Type", "application/json")
 		w.WriteHeader(code)
 		json.NewEncoder(w).Encode(v)
-	}
-	intArg := func(r *http.Request, name string) (int, error) {
-		v, err := strconv.Atoi(r.URL.Query().Get(name))
-		if err != nil {
-			return 0, fmt.Errorf("bad or missing %q: %v", name, err)
-		}
-		return v, nil
-	}
-	type errJSON struct {
-		Error string `json:"error"`
 	}
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		reply(w, http.StatusOK, map[string]uint64{"generation": f.Stats().Seq})
@@ -132,12 +210,12 @@ func newMux(f *fabric.Fabric) *http.ServeMux {
 		reply(w, http.StatusOK, toJSON(f.Stats()))
 	})
 	mux.HandleFunc("GET /resolve", func(w http.ResponseWriter, r *http.Request) {
-		src, err := intArg(r, "src")
+		src, err := intArgIn(r, "src", 0, tp.Leaves()-1)
 		if err != nil {
 			reply(w, http.StatusBadRequest, errJSON{err.Error()})
 			return
 		}
-		dst, err := intArg(r, "dst")
+		dst, err := intArgIn(r, "dst", 0, tp.Leaves()-1)
 		if err != nil {
 			reply(w, http.StatusBadRequest, errJSON{err.Error()})
 			return
@@ -147,8 +225,13 @@ func newMux(f *fabric.Fabric) *http.ServeMux {
 		gen := f.Generation()
 		route, ok := gen.Resolve(src, dst)
 		if !ok {
-			reply(w, http.StatusNotFound, errJSON{fmt.Sprintf("pair (%d,%d) out of range or unreachable", src, dst)})
+			reply(w, http.StatusNotFound, errJSON{fmt.Sprintf("pair (%d,%d) unreachable", src, dst)})
 			return
+		}
+		if tel := f.Telemetry(); tel != nil {
+			// Generation.Resolve bypasses the fabric's counting
+			// resolve; record the served route explicitly.
+			tel.Record(src, dst)
 		}
 		up := route.Up
 		if up == nil {
@@ -158,6 +241,56 @@ func newMux(f *fabric.Fabric) *http.ServeMux {
 			"src": src, "dst": dst, "up": up,
 			"nca_level": route.NCALevel(), "generation": gen.Seq(),
 		})
+	})
+	mux.HandleFunc("GET /telemetry", func(w http.ResponseWriter, r *http.Request) {
+		tel := f.Telemetry()
+		if tel == nil {
+			reply(w, http.StatusConflict, errJSON{"telemetry is disabled (-telemetry=false)"})
+			return
+		}
+		top := tel.TopFlows(10)
+		flows := make([]map[string]any, 0, len(top))
+		for _, fc := range top {
+			flows = append(flows, map[string]any{"src": fc.Src, "dst": fc.Dst, "count": fc.Count})
+		}
+		obs := tel.SnapshotFlows()
+		reply(w, http.StatusOK, map[string]any{
+			"pairs":    len(obs.Flows),
+			"resolves": obs.TotalBytes(),
+			"top":      flows,
+		})
+	})
+	mux.HandleFunc("POST /optimize", func(w http.ResponseWriter, r *http.Request) {
+		cfg := fabric.OptimizeConfig{Threshold: threshold, Reset: true}
+		if v := r.URL.Query().Get("threshold"); v != "" {
+			t, err := strconv.ParseFloat(v, 64)
+			if err != nil || t < 0 {
+				reply(w, http.StatusBadRequest, errJSON{fmt.Sprintf("bad %q: want a non-negative float", "threshold")})
+				return
+			}
+			cfg.Threshold = t
+		}
+		if v := r.URL.Query().Get("reset"); v != "" {
+			keep, err := strconv.ParseBool(v)
+			if err != nil {
+				reply(w, http.StatusBadRequest, errJSON{fmt.Sprintf("bad %q: want a boolean", "reset")})
+				return
+			}
+			cfg.Reset = keep
+		}
+		if f.Telemetry() == nil {
+			reply(w, http.StatusConflict, errJSON{"telemetry is disabled (-telemetry=false)"})
+			return
+		}
+		res, err := f.Optimize(cfg)
+		if err != nil {
+			// With telemetry on, an Optimize error is a server-side
+			// fault (candidate build or verification failure), not a
+			// request conflict.
+			reply(w, http.StatusInternalServerError, errJSON{err.Error()})
+			return
+		}
+		reply(w, http.StatusOK, optimizeToJSON(res))
 	})
 	admin := func(op func() (fabric.Stats, error)) http.HandlerFunc {
 		return func(w http.ResponseWriter, r *http.Request) {
@@ -170,25 +303,33 @@ func newMux(f *fabric.Fabric) *http.ServeMux {
 		}
 	}
 	mux.HandleFunc("POST /fail-link", func(w http.ResponseWriter, r *http.Request) {
-		level, err1 := intArg(r, "level")
-		index, err2 := intArg(r, "index")
-		port, err3 := intArg(r, "port")
-		for _, err := range []error{err1, err2, err3} {
-			if err != nil {
-				reply(w, http.StatusBadRequest, errJSON{err.Error()})
-				return
-			}
+		level, err := intArgIn(r, "level", 0, tp.Height()-1)
+		if err != nil {
+			reply(w, http.StatusBadRequest, errJSON{err.Error()})
+			return
+		}
+		index, err := intArgIn(r, "index", 0, tp.NodesAt(level)-1)
+		if err != nil {
+			reply(w, http.StatusBadRequest, errJSON{err.Error()})
+			return
+		}
+		port, err := intArgIn(r, "port", 0, tp.W(level)-1)
+		if err != nil {
+			reply(w, http.StatusBadRequest, errJSON{err.Error()})
+			return
 		}
 		admin(func() (fabric.Stats, error) { return f.FailLink(level, index, port) })(w, r)
 	})
 	mux.HandleFunc("POST /fail-switch", func(w http.ResponseWriter, r *http.Request) {
-		level, err1 := intArg(r, "level")
-		index, err2 := intArg(r, "index")
-		for _, err := range []error{err1, err2} {
-			if err != nil {
-				reply(w, http.StatusBadRequest, errJSON{err.Error()})
-				return
-			}
+		level, err := intArgIn(r, "level", 1, tp.Height())
+		if err != nil {
+			reply(w, http.StatusBadRequest, errJSON{err.Error()})
+			return
+		}
+		index, err := intArgIn(r, "index", 0, tp.NodesAt(level)-1)
+		if err != nil {
+			reply(w, http.StatusBadRequest, errJSON{err.Error()})
+			return
 		}
 		admin(func() (fabric.Stats, error) { return f.FailSwitch(level, index) })(w, r)
 	})
@@ -197,7 +338,8 @@ func newMux(f *fabric.Fabric) *http.ServeMux {
 }
 
 // runDemo walks the daemon's lifecycle on stdout: compile, resolve,
-// degrade, observe the generation swap, measure throughput, heal.
+// degrade, observe the generation swap, measure throughput, heal,
+// then skew the traffic and watch the optimizer re-fit the table.
 func runDemo(f *fabric.Fabric) error {
 	tp := f.Topology()
 	printStats := func(st fabric.Stats) {
@@ -249,5 +391,37 @@ func runDemo(f *fabric.Fabric) error {
 		return err
 	}
 	printStats(st)
+
+	// Telemetry-driven re-optimization: skew the traffic into a
+	// pattern the serving scheme handles badly — every leaf of switch
+	// 0 sending to destinations in one mod-k residue class, the
+	// funnel the paper's pattern-aware analysis dissects — and let
+	// the optimizer re-fit.
+	f.Telemetry().Reset()
+	m, wTop := tp.M(0), tp.W(tp.Height()-1)
+	for s := 0; s < m; s++ {
+		d := (m + s*wTop) % n
+		if d == s {
+			continue
+		}
+		if _, ok := f.Resolve(s, d); !ok {
+			return fmt.Errorf("demo: pair (%d,%d) did not resolve", s, d)
+		}
+	}
+	obs := f.SnapshotFlows()
+	fmt.Printf("skewed traffic observed: %d pairs, %d resolves\n", len(obs.Flows), obs.TotalBytes())
+	res, err := f.Optimize(fabric.OptimizeConfig{Reset: true})
+	if err != nil {
+		return err
+	}
+	for _, c := range res.Candidates {
+		fmt.Printf("  candidate %-9s analytic slowdown %.3f\n", c.Algo, c.Slowdown)
+	}
+	if res.Swapped {
+		fmt.Printf("re-optimized: %s (%.3f) -> %s (%.3f)\n", st.Algo, res.Current, res.Best, res.BestSlowdown)
+	} else {
+		fmt.Printf("kept %s: best candidate %s (%.3f) does not beat current %.3f\n", st.Algo, res.Best, res.BestSlowdown, res.Current)
+	}
+	printStats(f.Stats())
 	return nil
 }

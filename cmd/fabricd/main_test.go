@@ -1,0 +1,175 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"testing"
+)
+
+func testMux(t *testing.T, spec string) *http.ServeMux {
+	t.Helper()
+	f, err := build(spec, "d-mod-k", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return newMux(f, 0)
+}
+
+func do(t *testing.T, mux *http.ServeMux, method, target string) (int, map[string]any) {
+	t.Helper()
+	req := httptest.NewRequest(method, target, nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	var body map[string]any
+	if err := json.Unmarshal(rec.Body.Bytes(), &body); err != nil {
+		t.Fatalf("%s %s: body %q is not JSON: %v", method, target, rec.Body.String(), err)
+	}
+	return rec.Code, body
+}
+
+func TestResolveHandler(t *testing.T) {
+	mux := testMux(t, "2;8,8;1,8")
+	code, body := do(t, mux, "GET", "/resolve?src=0&dst=63")
+	if code != http.StatusOK {
+		t.Fatalf("resolve: %d %v", code, body)
+	}
+	if body["src"] != float64(0) || body["dst"] != float64(63) || body["generation"] != float64(0) {
+		t.Errorf("resolve body %v", body)
+	}
+	if _, ok := body["up"].([]any); !ok {
+		t.Errorf("resolve body has no up-ports: %v", body)
+	}
+}
+
+func TestResolveHandlerRejectsBadBounds(t *testing.T) {
+	mux := testMux(t, "2;8,8;1,8")
+	for _, target := range []string{
+		"/resolve?src=-1&dst=5",
+		"/resolve?src=0&dst=64", // 64 leaves: valid dst is 0..63
+		"/resolve?src=0&dst=notanint",
+		"/resolve?dst=5",
+	} {
+		code, body := do(t, mux, "GET", target)
+		if code != http.StatusBadRequest {
+			t.Errorf("GET %s: code %d, want 400 (%v)", target, code, body)
+		}
+		if msg, _ := body["error"].(string); msg == "" {
+			t.Errorf("GET %s: no structured error body: %v", target, body)
+		}
+	}
+}
+
+func TestFailLinkHandlerRejectsBadBounds(t *testing.T) {
+	mux := testMux(t, "2;8,8;1,8")
+	for _, target := range []string{
+		"/fail-link?level=-1&index=0&port=0",
+		"/fail-link?level=2&index=0&port=0", // levels with up-ports: 0, 1
+		"/fail-link?level=1&index=8&port=0", // 8 level-1 switches: 0..7
+		"/fail-link?level=1&index=0&port=8", // w2=8: ports 0..7
+		"/fail-link?level=1&index=0",        // missing port
+		"/fail-switch?level=0&index=0",      // leaves are not switches
+		"/fail-switch?level=1&index=-3",
+	} {
+		code, body := do(t, mux, "POST", target)
+		if code != http.StatusBadRequest {
+			t.Errorf("POST %s: code %d, want 400 (%v)", target, code, body)
+		}
+		if msg, _ := body["error"].(string); msg == "" {
+			t.Errorf("POST %s: no structured error body: %v", target, body)
+		}
+	}
+	// Sanity: in-range failure still works and swaps the generation.
+	code, body := do(t, mux, "POST", "/fail-link?level=1&index=0&port=0")
+	if code != http.StatusOK || body["seq"] != float64(1) || body["failed_wires"] != float64(1) {
+		t.Fatalf("in-range fail-link: %d %v", code, body)
+	}
+	// Re-failing the same link is a conflict, not a client error.
+	if code, _ := do(t, mux, "POST", "/fail-link?level=1&index=0&port=0"); code != http.StatusConflict {
+		t.Errorf("double failure: code %d, want 409", code)
+	}
+}
+
+func TestTelemetryHandler(t *testing.T) {
+	mux := testMux(t, "2;8,8;1,8")
+	for i := 0; i < 3; i++ {
+		if code, body := do(t, mux, "GET", "/resolve?src=1&dst=9"); code != http.StatusOK {
+			t.Fatalf("resolve: %d %v", code, body)
+		}
+	}
+	do(t, mux, "GET", "/resolve?src=2&dst=17")
+	code, body := do(t, mux, "GET", "/telemetry")
+	if code != http.StatusOK {
+		t.Fatalf("telemetry: %d %v", code, body)
+	}
+	if body["pairs"] != float64(2) || body["resolves"] != float64(4) {
+		t.Errorf("telemetry body %v, want 2 pairs / 4 resolves", body)
+	}
+	top, _ := body["top"].([]any)
+	if len(top) != 2 {
+		t.Fatalf("top flows %v", body["top"])
+	}
+	first, _ := top[0].(map[string]any)
+	if first["src"] != float64(1) || first["dst"] != float64(9) || first["count"] != float64(3) {
+		t.Errorf("heaviest flow %v", first)
+	}
+}
+
+func TestOptimizeHandler(t *testing.T) {
+	// Slimmed tree + the d-mod-k funnel: every leaf of switch 0 sends
+	// to a distinct destination in residue class 0 mod 4, so the
+	// optimizer must find a strictly better table and swap.
+	mux := testMux(t, "2;8,8;1,4")
+	for s := 0; s < 8; s++ {
+		target := "/resolve?src=" + itoa(s) + "&dst=" + itoa(8+s*4)
+		if code, body := do(t, mux, "GET", target); code != http.StatusOK {
+			t.Fatalf("resolve: %d %v", code, body)
+		}
+	}
+	code, body := do(t, mux, "POST", "/optimize?threshold=0")
+	if code != http.StatusOK {
+		t.Fatalf("optimize: %d %v", code, body)
+	}
+	if body["swapped"] != true {
+		t.Fatalf("optimize did not swap: %v", body)
+	}
+	if body["current_slowdown"] != float64(8) {
+		t.Errorf("current slowdown %v, want 8", body["current_slowdown"])
+	}
+	cands, _ := body["candidates"].([]any)
+	if len(cands) != 4 {
+		t.Errorf("candidates %v", body["candidates"])
+	}
+	best, _ := body["best"].(string)
+	stats, _ := body["stats"].(map[string]any)
+	if best == "" || stats["algo"] != best || stats["seq"] != float64(1) {
+		t.Errorf("swap result inconsistent: best %q stats %v", best, stats)
+	}
+	// The generation visible through /stats is the swapped one.
+	if code, st := do(t, mux, "GET", "/stats"); code != http.StatusOK || st["algo"] != best {
+		t.Errorf("stats after optimize: %d %v", code, st)
+	}
+	// Bad optimize parameters are client errors.
+	for _, target := range []string{"/optimize?threshold=-1", "/optimize?threshold=x", "/optimize?reset=maybe"} {
+		if code, _ := do(t, mux, "POST", target); code != http.StatusBadRequest {
+			t.Errorf("POST %s: code %d, want 400", target, code)
+		}
+	}
+}
+
+func TestOptimizeHandlerWithoutTelemetry(t *testing.T) {
+	f, err := build("2;4,4;1,4", "d-mod-k", 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := newMux(f, 0)
+	if code, _ := do(t, mux, "POST", "/optimize"); code != http.StatusConflict {
+		t.Errorf("optimize without telemetry: code %d, want 409", code)
+	}
+	if code, _ := do(t, mux, "GET", "/telemetry"); code != http.StatusConflict {
+		t.Errorf("telemetry endpoint without telemetry: code %d, want 409", code)
+	}
+}
+
+func itoa(v int) string { return strconv.Itoa(v) }

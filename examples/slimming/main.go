@@ -8,14 +8,12 @@ package main
 import (
 	"fmt"
 	"log"
-	"math/rand"
 
 	repro "repro"
 )
 
 func main() {
 	const n = 256
-	rng := rand.New(rand.NewSource(7))
 
 	// Three workload classes: a nearest-neighbour application
 	// (WRF-like), an adversarial regular permutation (CG transpose),
@@ -26,7 +24,7 @@ func main() {
 		log.Fatal(err)
 	}
 	transpose := cgT[len(cgT)-1]
-	randPerm := repro.UniformRandom(n, 1, 64*1024, rng)
+	randPerm := repro.UniformRandom(n, 1, 64*1024, 7)
 
 	fmt.Println("Slimming sweep of XGFT(2;16,16;1,w2) under r-NCA-u (seeded median of 5):")
 	fmt.Printf("%4s  %9s  %10s  %12s  %12s\n", "w2", "#switches", "wrf", "cg-transpose", "random")

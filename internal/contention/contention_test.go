@@ -1,7 +1,6 @@
 package contention
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
 
@@ -227,9 +226,8 @@ func TestSlimmingMonotonicity(t *testing.T) {
 
 func TestSlowdownAtLeastOne(t *testing.T) {
 	tp := paperTree(t, 16)
-	rng := rand.New(rand.NewSource(5))
 	for trial := 0; trial < 10; trial++ {
-		p := pattern.RandomPermutationPattern(256, 1000, rng)
+		p := pattern.KeyedRandomPermutation(256, 1000, uint64(trial)+1)
 		for _, algo := range []core.Algorithm{core.NewSModK(tp), core.NewRandom(tp, uint64(trial))} {
 			s, err := Slowdown(tp, algo, p)
 			if err != nil {
@@ -275,11 +273,10 @@ func TestPhasedSlowdownErrors(t *testing.T) {
 // distribution.
 func TestDualityTheorem(t *testing.T) {
 	tp := paperTree(t, 10)
-	rng := rand.New(rand.NewSource(99))
 	patterns := []*pattern.Pattern{
 		pattern.WRF256(),
-		pattern.RandomPermutationPattern(256, 100, rng),
-		pattern.UniformRandom(256, 3, 100, rng),
+		pattern.KeyedRandomPermutation(256, 100, 99),
+		pattern.UniformRandom(256, 3, 100, 99),
 		pattern.Shift(256, 37, 100),
 	}
 	for pi, p := range patterns {
@@ -305,8 +302,7 @@ func TestDualityTheorem(t *testing.T) {
 func TestQuickDualityOnRandomPermutations(t *testing.T) {
 	tp := paperTree(t, 7)
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
-		p := pattern.RandomPermutationPattern(256, 100, rng)
+		p := pattern.KeyedRandomPermutation(256, 100, uint64(seed))
 		tblS, err := core.BuildTable(tp, core.NewSModK(tp), p)
 		if err != nil {
 			return false

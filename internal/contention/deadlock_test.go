@@ -11,8 +11,7 @@ import (
 
 func TestAllAlgorithmsAreDeadlockFree(t *testing.T) {
 	tp := paperTree(t, 10)
-	rng := rand.New(rand.NewSource(4))
-	p := pattern.UniformRandom(256, 3, 100, rng)
+	p := pattern.UniformRandom(256, 3, 100, 4)
 	algos := []core.Algorithm{
 		core.NewSModK(tp),
 		core.NewDModK(tp),
@@ -36,8 +35,7 @@ func TestDeadlockFreeOnDeepTrees(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(5))
-	p := pattern.RandomPermutationPattern(64, 100, rng)
+	p := pattern.KeyedRandomPermutation(64, 100, 5)
 	lw, err := core.NewLevelWise(tp, []*pattern.Pattern{p})
 	if err != nil {
 		t.Fatal(err)

@@ -144,9 +144,8 @@ func TestLevelWiseConflictFreeOnFullTree(t *testing.T) {
 	// Constructive rearrangeability (§II): every permutation on the
 	// full 16-ary 2-tree routes with zero network contention.
 	tp := paperTree(t, 16)
-	rng := rand.New(rand.NewSource(1))
 	for trial := 0; trial < 5; trial++ {
-		p := pattern.RandomPermutationPattern(256, 1000, rng)
+		p := pattern.KeyedRandomPermutation(256, 1000, uint64(trial)+1)
 		lw, err := NewLevelWise(tp, []*pattern.Pattern{p})
 		if err != nil {
 			t.Fatal(err)
@@ -163,9 +162,8 @@ func TestLevelWiseConflictFreeOnDeepTree(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	rng := rand.New(rand.NewSource(2))
 	for trial := 0; trial < 5; trial++ {
-		p := pattern.RandomPermutationPattern(64, 1000, rng)
+		p := pattern.KeyedRandomPermutation(64, 1000, uint64(trial)+101)
 		lw, err := NewLevelWise(tp, []*pattern.Pattern{p})
 		if err != nil {
 			t.Fatal(err)
@@ -204,10 +202,9 @@ func TestLevelWiseCGTranspose(t *testing.T) {
 func TestLevelWiseBalancedOnSlimmedTree(t *testing.T) {
 	// On XGFT(2;16,16;1,w2) a permutation needs at most ceil(16/w2)
 	// flows per channel; the balanced coloring must hit that bound.
-	rng := rand.New(rand.NewSource(3))
 	for _, w2 := range []int{8, 5, 3} {
 		tp := paperTree(t, w2)
-		p := pattern.RandomPermutationPattern(256, 1000, rng)
+		p := pattern.KeyedRandomPermutation(256, 1000, uint64(w2)+201)
 		lw, err := NewLevelWise(tp, []*pattern.Pattern{p})
 		if err != nil {
 			t.Fatal(err)
@@ -241,9 +238,8 @@ func TestLevelWiseAtLeastAsGoodAsColored(t *testing.T) {
 	// trees; Colored's local search may stop at a local optimum, so
 	// level-wise must never be worse.
 	tp := paperTree(t, 16)
-	rng := rand.New(rand.NewSource(9))
 	for trial := 0; trial < 3; trial++ {
-		p := pattern.RandomPermutationPattern(256, 1000, rng)
+		p := pattern.KeyedRandomPermutation(256, 1000, uint64(trial)+301)
 		lw, err := NewLevelWise(tp, []*pattern.Pattern{p})
 		if err != nil {
 			t.Fatal(err)
@@ -264,7 +260,7 @@ func TestQuickLevelWiseRandomTopologiesAndPermutations(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		p := pattern.RandomPermutationPattern(tp.Leaves(), 100, rng)
+		p := pattern.KeyedRandomPermutation(tp.Leaves(), 100, uint64(seed)+1)
 		lw, err := NewLevelWise(tp, []*pattern.Pattern{p})
 		if err != nil {
 			return false

@@ -2,8 +2,9 @@ package dimemas
 
 import (
 	"fmt"
-	"math/rand"
 
+	"repro/internal/hashutil"
+	"repro/internal/pattern"
 	"repro/internal/xgft"
 )
 
@@ -47,15 +48,16 @@ func RoundRobinMapping(t *xgft.Topology, n int) ([]int, error) {
 	return m, nil
 }
 
-// RandomMapping places ranks on a uniformly random subset of leaves
-// (deterministic per seed).
+// RandomMapping places ranks on a uniformly random subset of leaves.
+// The shuffle is a keyed splitmix64 permutation (pattern.KeyedPerm
+// under a domain-separated seed), so the placement is a pure function
+// of (topology, n, seed) on every platform and Go version.
 func RandomMapping(t *xgft.Topology, n int, seed int64) ([]int, error) {
 	if n > t.Leaves() {
 		return nil, fmt.Errorf("dimemas: %d ranks do not fit %d leaves", n, t.Leaves())
 	}
-	rng := rand.New(rand.NewSource(seed))
-	perm := rng.Perm(t.Leaves())
-	return perm[:n], nil
+	perm := pattern.KeyedPerm(t.Leaves(), hashutil.Mix(0xd13e3a5, uint64(seed)))
+	return []int(perm[:n]), nil
 }
 
 // MappingByName resolves "linear", "round-robin" or "random" (the

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 	"io"
-	"math/rand"
 
 	"repro/internal/contention"
 	"repro/internal/core"
@@ -70,12 +69,11 @@ func DeepTreeSweep(opt Options) ([]DeepRow, error) {
 			return nil, err
 		}
 		topos[i] = tp
-		// Permutations are drawn sequentially from per-seed RNGs, so
-		// the workload is identical however the cells are scheduled.
+		// Permutations come from the keyed splitmix64 stream per seed,
+		// so the workload is identical however the cells are scheduled.
 		perms[i] = make([]*pattern.Pattern, seeds)
 		for s := 0; s < seeds; s++ {
-			rng := rand.New(rand.NewSource(int64(s) + 1))
-			perms[i][s] = pattern.RandomPermutationPattern(tp.Leaves(), opt.MessageBytes, rng)
+			perms[i][s] = pattern.KeyedRandomPermutation(tp.Leaves(), opt.MessageBytes, uint64(s)+1)
 		}
 	}
 	nSchemes := len(deepSchemes)

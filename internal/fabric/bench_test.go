@@ -8,10 +8,12 @@ import (
 	"repro/internal/xgft"
 )
 
-func benchFabric(b *testing.B) *Fabric {
+func benchFabric(b *testing.B) *Fabric { return benchFabricTelemetry(b, false) }
+
+func benchFabricTelemetry(b *testing.B, telemetry bool) *Fabric {
 	b.Helper()
 	tp := xgft.MustNew(2, []int{16, 16}, []int{1, 16})
-	f, err := New(Config{Topo: tp, Algo: core.NewDModK(tp)})
+	f, err := New(Config{Topo: tp, Algo: core.NewDModK(tp), Telemetry: telemetry})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -54,6 +56,64 @@ func BenchmarkResolveBatch(b *testing.B) {
 		f.ResolveBatch(pairs, out)
 	}
 	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "routes/s")
+}
+
+// BenchmarkResolveTelemetry is BenchmarkResolve with the flow
+// counters enabled: the acceptance bar is < 10% regression (one
+// uncontended atomic add per resolve).
+func BenchmarkResolveTelemetry(b *testing.B) {
+	f := benchFabricTelemetry(b, true)
+	n := f.Topology().Leaves()
+	h := uint64(1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h = hashutil.Splitmix64(h)
+		s := int(h % uint64(n))
+		d := int(h >> 32 % uint64(n))
+		if _, ok := f.Resolve(s, d); !ok {
+			b.Fatal("resolve failed")
+		}
+	}
+}
+
+// BenchmarkResolveBatchTelemetry is the batch throughput headline
+// with telemetry enabled.
+func BenchmarkResolveBatchTelemetry(b *testing.B) {
+	f := benchFabricTelemetry(b, true)
+	n := f.Topology().Leaves()
+	const batch = 4096
+	pairs := make([][2]int, batch)
+	out := make([]xgft.Route, batch)
+	h := uint64(1)
+	for i := range pairs {
+		h = hashutil.Splitmix64(h)
+		pairs[i] = [2]int{int(h % uint64(n)), int(h >> 32 % uint64(n))}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ResolveBatch(pairs, out)
+	}
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "routes/s")
+}
+
+// BenchmarkOptimize measures one full re-optimization pass (snapshot,
+// four candidate scores, swap decision) over all-pairs traffic.
+func BenchmarkOptimize(b *testing.B) {
+	f := benchFabricTelemetry(b, true)
+	n := f.Topology().Leaves()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				f.Resolve(s, d)
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Optimize(OptimizeConfig{}); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // BenchmarkFailLinkSwap measures a full degrade cycle: incremental

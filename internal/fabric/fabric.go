@@ -23,12 +23,13 @@ import (
 )
 
 // maxHeight bounds fabrics to topologies whose routes pack into one
-// word (a byte per level); realistic fat trees are h <= 6.
-const maxHeight = 8
+// word (a byte per level, plus the NCA level in the top byte so the
+// resolve path never recomputes it); realistic fat trees are h <= 6.
+const maxHeight = 7
 
 // Config parameterizes a fabric.
 type Config struct {
-	// Topo is the healthy topology. Required; Height must be <= 8 and
+	// Topo is the healthy topology. Required; Height must be <= 7 and
 	// every W(l) <= 255 (the packed-route limits).
 	Topo *xgft.Topology
 	// Algo computes the healthy routes. Required. Schemes
@@ -39,6 +40,11 @@ type Config struct {
 	// deduplicates identical builds, including concurrent ones
 	// (singleflight coalescing in core.TableCache).
 	Cache *core.TableCache
+	// Telemetry enables per-pair flow counters on the resolve path
+	// (an uncontended atomic add per successful resolve) and with
+	// them the Optimize re-optimization loop. Disabled fabrics reject
+	// Optimize.
+	Telemetry bool
 }
 
 // Fabric serves routing decisions for one topology under one scheme,
@@ -51,6 +57,7 @@ type Fabric struct {
 	algo  core.Algorithm
 	cache *core.TableCache
 	pairs *pattern.Pattern // all-pairs probe pattern, shard fill order
+	tel   *Telemetry       // nil when telemetry is disabled
 
 	mu  sync.Mutex // serializes generation changes
 	gen atomic.Pointer[Generation]
@@ -83,6 +90,9 @@ func New(cfg Config) (*Fabric, error) {
 		cache: cache,
 		pairs: pattern.AllToAll(cfg.Topo.Leaves(), 1),
 	}
+	if cfg.Telemetry {
+		f.tel = newTelemetry(cfg.Topo.Leaves())
+	}
 	gen, err := f.buildHealthy(0)
 	if err != nil {
 		return nil, err
@@ -100,17 +110,46 @@ func (f *Fabric) Generation() *Generation { return f.gen.Load() }
 // Stats returns the current generation's statistics.
 func (f *Fabric) Stats() Stats { return f.gen.Load().Stats() }
 
+// Telemetry returns the fabric's flow counters, nil when disabled.
+func (f *Fabric) Telemetry() *Telemetry { return f.tel }
+
+// SnapshotFlows lowers the observed traffic into a pattern; it
+// returns nil when telemetry is disabled.
+func (f *Fabric) SnapshotFlows() *pattern.Pattern {
+	if f.tel == nil {
+		return nil
+	}
+	return f.tel.SnapshotFlows()
+}
+
 // Resolve returns the installed route from src to dst in the current
 // generation; ok is false for out-of-range or unreachable pairs.
+// With telemetry enabled, every successful non-self resolve bumps the
+// pair's flow counter (one uncontended atomic add — the path stays
+// lock-free).
 func (f *Fabric) Resolve(src, dst int) (xgft.Route, bool) {
-	return f.gen.Load().Resolve(src, dst)
+	r, ok := f.gen.Load().Resolve(src, dst)
+	if f.tel != nil && ok && src != dst {
+		f.tel.record(src, dst)
+	}
+	return r, ok
 }
 
 // ResolveBatch resolves pairs[i] into out[i] against one consistent
 // generation and returns how many resolved. out must be at least as
-// long as pairs.
+// long as pairs. Telemetry counts every resolved non-self pair.
 func (f *Fabric) ResolveBatch(pairs [][2]int, out []xgft.Route) int {
-	return f.gen.Load().ResolveBatch(pairs, out)
+	resolved := f.gen.Load().ResolveBatch(pairs, out)
+	if f.tel != nil {
+		for i, p := range pairs {
+			// Resolved non-self pairs are exactly those with a
+			// non-empty ascent (unresolved slots are zeroed).
+			if p[0] != p[1] && out[i].Up != nil {
+				f.tel.record(p[0], p[1])
+			}
+		}
+	}
+	return resolved
 }
 
 // buildHealthy compiles a full healthy generation through the table

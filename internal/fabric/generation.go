@@ -8,8 +8,15 @@ import (
 
 // unreachablePacked marks a pair with no surviving minimal path. It
 // cannot collide with a real packed route: every real digit is at
-// most W(l)-1 <= 254, so a packed route never has an all-ones byte.
+// most W(l)-1 <= 254 and the level byte is at most maxHeight, so a
+// packed route never has an all-ones byte.
 const unreachablePacked = ^uint64(0)
+
+// levelShift positions the NCA level in the top byte of a packed
+// route, so resolution reads the ascent length straight from the
+// word instead of recomputing it from the leaf labels (h integer
+// divisions per endpoint) on every lookup.
+const levelShift = 56
 
 // Stats describes one generation of the route store.
 type Stats struct {
@@ -49,10 +56,11 @@ type Generation struct {
 	stats  Stats
 }
 
-// packRoute packs the ascent digits a byte per level. Safe because
-// New enforces Height <= 8 and W <= 255.
+// packRoute packs the ascent digits a byte per level with the NCA
+// level in the top byte. Safe because New enforces Height <= 7 and
+// W <= 255.
 func packRoute(r xgft.Route) uint64 {
-	var p uint64
+	p := uint64(len(r.Up)) << levelShift
 	for i, port := range r.Up {
 		p |= uint64(port) << (8 * uint(i))
 	}
@@ -63,7 +71,7 @@ func packRoute(r xgft.Route) uint64 {
 // materializing it — the fault-repair path checks every pair, so the
 // common (healthy-route) case must not allocate.
 func packedRouteOK(v *xgft.View, t *xgft.Topology, src, dst int, packed uint64) bool {
-	l := t.NCALevel(src, dst)
+	l := int(packed >> levelShift)
 	idx := src
 	for i := 0; i < l; i++ {
 		p := int(packed >> (8 * uint(i)) & 0xff)
@@ -81,6 +89,17 @@ func packedRouteOK(v *xgft.View, t *xgft.Topology, src, dst int, packed uint64) 
 		idx = t.Parent(i, idx, p)
 	}
 	return true
+}
+
+// unpackRoute decodes a packed ascent back into per-level up-ports
+// (the inverse of packRoute for a reachable pair).
+func unpackRoute(packed uint64) []int {
+	l := int(packed >> levelShift)
+	up := make([]int, l)
+	for i := 0; i < l; i++ {
+		up[i] = int(packed >> (8 * uint(i)) & 0xff)
+	}
+	return up
 }
 
 // Seq returns the generation sequence number.
@@ -112,24 +131,42 @@ func (g *Generation) Resolve(src, dst int) (r xgft.Route, ok bool) {
 	if packed == unreachablePacked {
 		return xgft.Route{}, false
 	}
-	l := g.topo.NCALevel(src, dst)
-	r.Up = make([]int, l)
-	for i := 0; i < l; i++ {
-		r.Up[i] = int(packed >> (8 * uint(i)) & 0xff)
-	}
+	r.Up = unpackRoute(packed)
 	return r, true
 }
 
 // ResolveBatch resolves pairs[i] into out[i] and returns how many
 // resolved; unresolved slots are zeroed. out must be at least as long
-// as pairs.
+// as pairs. The ascent slices of one batch share a single backing
+// arena (each route owns a full-capacity subrange), so bulk
+// resolution pays one allocation per call instead of one per route.
 func (g *Generation) ResolveBatch(pairs [][2]int, out []xgft.Route) (resolved int) {
+	n := g.topo.Leaves()
+	arena := make([]int, len(pairs)*g.topo.Height())
 	for i, p := range pairs {
-		r, ok := g.Resolve(p[0], p[1])
-		out[i] = r
-		if ok {
-			resolved++
+		src, dst := p[0], p[1]
+		if src < 0 || src >= n || dst < 0 || dst >= n {
+			out[i] = xgft.Route{}
+			continue
 		}
+		if src == dst {
+			out[i] = xgft.Route{Src: src, Dst: dst}
+			resolved++
+			continue
+		}
+		packed := g.shards[src][dst]
+		if packed == unreachablePacked {
+			out[i] = xgft.Route{}
+			continue
+		}
+		l := int(packed >> levelShift)
+		up := arena[:l:l]
+		arena = arena[l:]
+		for j := 0; j < l; j++ {
+			up[j] = int(packed >> (8 * uint(j)) & 0xff)
+		}
+		out[i] = xgft.Route{Src: src, Dst: dst, Up: up}
+		resolved++
 	}
 	return resolved
 }

@@ -1,0 +1,254 @@
+package fabric
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/xgft"
+)
+
+// The re-optimization loop: the paper's central observation is that
+// no single oblivious scheme wins across traffic patterns — the best
+// table depends on the pattern being run. A static fabric serves one
+// scheme forever; Optimize instead snapshots the telemetry counters,
+// scores the current generation against candidate tables (the
+// oblivious baselines plus the pattern-aware Colored optimizer seeded
+// with the observed pattern), and hot-swaps a better table in, the
+// way robust-clustering estimators re-fit as the observed data
+// distribution shifts.
+
+// OptimizeConfig parameterizes one re-optimization pass.
+type OptimizeConfig struct {
+	// Threshold is the minimum relative improvement of the best
+	// candidate over the current generation required to swap: 0.05
+	// demands 5% lower analytic slowdown. 0 swaps on any strict
+	// improvement.
+	Threshold float64
+	// MinFlows is the minimum number of distinct observed pairs below
+	// which the pass is a no-op (not enough signal). Defaults to 1.
+	MinFlows int
+	// Seed feeds the randomized candidates (r-NCA-u/d) and the
+	// Colored sampler. Defaults to 1, so passes are reproducible.
+	Seed uint64
+	// Reset zeroes the telemetry counters after the snapshot, making
+	// each pass observe only the traffic since the previous one.
+	Reset bool
+}
+
+func (c OptimizeConfig) withDefaults() OptimizeConfig {
+	if c.MinFlows <= 0 {
+		c.MinFlows = 1
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// CandidateScore is one candidate table's analytic slowdown on the
+// observed pattern.
+type CandidateScore struct {
+	Algo     string
+	Slowdown float64
+}
+
+// OptimizeResult describes one re-optimization pass.
+type OptimizeResult struct {
+	// Pairs and Resolves describe the observed pattern: distinct
+	// (src, dst) pairs and total recorded resolves.
+	Pairs    int
+	Resolves int64
+	// Current is the serving generation's analytic slowdown on the
+	// observed pattern (1 exactly when the pattern is contention-free
+	// under the current table).
+	Current float64
+	// Candidates lists every scored candidate in scoring order.
+	Candidates []CandidateScore
+	// Best names the best-scoring candidate; BestSlowdown its score.
+	Best         string
+	BestSlowdown float64
+	// Swapped reports whether a new generation was installed; Stats
+	// describes the generation serving after the pass either way.
+	Swapped bool
+	Stats   Stats
+}
+
+// allPairsIndex returns the index of pair (s, d) in the all-pairs
+// probe pattern (s-major, self-pairs skipped) that fabric tables are
+// aligned with.
+func allPairsIndex(n, s, d int) int {
+	i := s*(n-1) + d
+	if d > s {
+		i--
+	}
+	return i
+}
+
+// Optimize runs one telemetry-driven re-optimization pass: snapshot
+// the flow counters, score the current generation and the candidate
+// schemes (d-mod-k, r-NCA-u/d, and Colored seeded with the observed
+// pattern — all served through the table cache) on the observed
+// pattern with the analytic slowdown bound, and hot-swap the best
+// candidate in if it improves on the serving table by more than the
+// threshold.
+//
+// The pass composes with fault handling: candidates are patched
+// through the current generation's degraded view before scoring and
+// installation, so an optimize swap never resurrects a failed wire,
+// and the pass serializes with FailLink/FailSwitch/Heal on the
+// fabric's mutex while readers stay lock-free on the old generation.
+// Heal still rebuilds the configured scheme's healthy table,
+// discarding any optimized choice along with the faults.
+func (f *Fabric) Optimize(cfg OptimizeConfig) (OptimizeResult, error) {
+	if f.tel == nil {
+		return OptimizeResult{}, fmt.Errorf("fabric: telemetry is disabled (enable Config.Telemetry)")
+	}
+	cfg = cfg.withDefaults()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	obs := f.tel.SnapshotFlows()
+	if cfg.Reset {
+		f.tel.Reset()
+	}
+	cur := f.gen.Load()
+	res := OptimizeResult{
+		Pairs:    len(obs.Flows),
+		Resolves: obs.TotalBytes(),
+		Stats:    cur.stats,
+	}
+	if len(obs.Flows) < cfg.MinFlows {
+		return res, nil
+	}
+	view := cur.view
+
+	// Score the serving generation. Pairs whose minimal paths are all
+	// severed are dropped from the scored pattern; every candidate is
+	// patched through the same view with the same reroute search, so
+	// the surviving flow set — and with it the comparison — is
+	// identical across candidates.
+	current, err := scoreRoutes(f.topo, obs, func(s, d int) (xgft.Route, bool) {
+		return cur.Resolve(s, d)
+	})
+	if err != nil {
+		return res, err
+	}
+	res.Current = current
+
+	var bestTbl *core.Table
+	for _, cand := range f.candidates(obs, cfg.Seed) {
+		tbl, err := f.cache.Build(f.topo, cand, f.pairs)
+		if err != nil {
+			return res, fmt.Errorf("fabric: candidate %s: %w", cand.Name(), err)
+		}
+		n := f.topo.Leaves()
+		score, err := scoreRoutes(f.topo, obs, func(s, d int) (xgft.Route, bool) {
+			return core.RerouteAvoiding(view, tbl.Routes[allPairsIndex(n, s, d)])
+		})
+		if err != nil {
+			return res, fmt.Errorf("fabric: candidate %s: %w", cand.Name(), err)
+		}
+		res.Candidates = append(res.Candidates, CandidateScore{Algo: cand.Name(), Slowdown: score})
+		if bestTbl == nil || score < res.BestSlowdown {
+			bestTbl = tbl
+			res.Best, res.BestSlowdown = cand.Name(), score
+		}
+	}
+	// Swap only on strict improvement beyond the threshold. Identical
+	// tables score bit-identically, so a generation already serving
+	// the best candidate never churns.
+	if bestTbl == nil || res.Current-res.BestSlowdown <= cfg.Threshold*res.Current {
+		return res, nil
+	}
+	gen, err := f.genFromTable(bestTbl, view, cur.stats.Seq+1, res.Best)
+	if err != nil {
+		return res, err
+	}
+	f.gen.Store(gen)
+	res.Swapped = true
+	res.Stats = gen.stats
+	return res, nil
+}
+
+// candidates enumerates the candidate schemes for an observed
+// pattern, in scoring order. The Colored optimizer is memoized
+// through the table cache (keyed by topology, pattern content and
+// seed), so repeated passes over a stable pattern reuse it.
+func (f *Fabric) candidates(obs *pattern.Pattern, seed uint64) []core.Algorithm {
+	coloredKey := fmt.Sprintf("colored|%s|%d:%#x:%#x|%#x",
+		f.topo, len(obs.Flows), obs.TotalBytes(), obs.Fingerprint(), seed)
+	return []core.Algorithm{
+		core.NewDModK(f.topo),
+		core.NewRandomNCAUp(f.topo, seed),
+		core.NewRandomNCADown(f.topo, seed),
+		f.cache.MemoAlgorithm(coloredKey, func() core.Algorithm {
+			return core.NewColored(f.topo, []*pattern.Pattern{obs}, core.ColoredConfig{Seed: seed})
+		}),
+	}
+}
+
+// scoreRoutes computes the analytic slowdown of the observed pattern
+// under the per-pair route function, dropping unreachable pairs from
+// both the pattern and the normalization.
+func scoreRoutes(t *xgft.Topology, obs *pattern.Pattern, route func(s, d int) (xgft.Route, bool)) (float64, error) {
+	q := pattern.New(obs.N)
+	routes := make([]xgft.Route, 0, len(obs.Flows))
+	for _, fl := range obs.Flows {
+		r, ok := route(fl.Src, fl.Dst)
+		if !ok {
+			continue
+		}
+		q.Add(fl.Src, fl.Dst, fl.Bytes)
+		routes = append(routes, r)
+	}
+	return contention.SlowdownRoutes(t, q, routes)
+}
+
+// genFromTable packs a healthy all-pairs table into a generation
+// under the given fault view: core.PatchTable (the same repair path
+// FailLink uses) reroutes the routes riding failed wires and marks
+// pairs with no surviving minimal path, which pack to the unreachable
+// sentinel. The result must pass VerifyDeadlockFree or installation
+// is refused.
+func (f *Fabric) genFromTable(tbl *core.Table, view *xgft.View, seq uint64, algoName string) (*Generation, error) {
+	start := time.Now()
+	patched, st, err := core.PatchTable(tbl, view)
+	if err != nil {
+		return nil, err
+	}
+	n := f.topo.Leaves()
+	shards := make([][]uint64, n)
+	for s := range shards {
+		shards[s] = make([]uint64, n)
+	}
+	for i, fl := range f.pairs.Flows {
+		r := patched.Routes[i]
+		if r.Up == nil {
+			shards[fl.Src][fl.Dst] = unreachablePacked
+			continue
+		}
+		shards[fl.Src][fl.Dst] = packRoute(r)
+	}
+	gen := &Generation{
+		topo:   f.topo,
+		view:   view,
+		shards: shards,
+		stats: Stats{
+			Seq:            seq,
+			Algo:           algoName,
+			Routes:         len(f.pairs.Flows) - st.Unreachable,
+			Patched:        st.Rerouted,
+			Unreachable:    st.Unreachable,
+			FailedWires:    view.FailedWires(),
+			FailedSwitches: len(view.FailedSwitches()),
+		},
+	}
+	if err := contention.VerifyDeadlockFree(f.topo, gen.Routes()); err != nil {
+		return nil, fmt.Errorf("fabric: candidate table rejected: %w", err)
+	}
+	gen.stats.BuildTime = time.Since(start)
+	return gen, nil
+}

@@ -1,0 +1,139 @@
+package fabric
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/pattern"
+)
+
+// Telemetry is the fabric's live traffic observer: one atomic counter
+// per (source, destination) pair, bumped by every successful Resolve
+// and ResolveBatch. The counters are sharded by source leaf (each
+// source owns a contiguous row), so concurrent resolvers for
+// different pairs never contend on a line beyond false sharing inside
+// one row — the hot path stays lock-free, a single uncontended atomic
+// add on top of the generation lookup.
+//
+// The observed counts are the connectivity-matrix view of the paper's
+// §III measured instead of declared: SnapshotFlows lowers them into a
+// pattern.Pattern whose byte weights are the resolve counts, which is
+// exactly the input the pattern-aware optimizer wants.
+type Telemetry struct {
+	n    int
+	rows [][]uint64 // [src][dst] resolve counts, updated atomically
+}
+
+// newTelemetry returns zeroed counters for n leaves.
+func newTelemetry(n int) *Telemetry {
+	t := &Telemetry{n: n, rows: make([][]uint64, n)}
+	for s := range t.rows {
+		t.rows[s] = make([]uint64, n)
+	}
+	return t
+}
+
+// record bumps the pair's counter. Callers guarantee bounds and
+// src != dst (self-pairs carry no network traffic).
+func (t *Telemetry) record(src, dst int) {
+	atomic.AddUint64(&t.rows[src][dst], 1)
+}
+
+// Record counts one served route for the pair; out-of-range and self
+// pairs are ignored. Resolve/ResolveBatch record automatically — this
+// is for servers that resolve against a pinned Generation (for a
+// consistent route/seq snapshot) and still want the traffic observed.
+func (t *Telemetry) Record(src, dst int) {
+	if src < 0 || src >= t.n || dst < 0 || dst >= t.n || src == dst {
+		return
+	}
+	t.record(src, dst)
+}
+
+// Leaves returns the endpoint count the counters cover.
+func (t *Telemetry) Leaves() int { return t.n }
+
+// Count returns the recorded resolves for one pair (0 for
+// out-of-range pairs).
+func (t *Telemetry) Count(src, dst int) uint64 {
+	if src < 0 || src >= t.n || dst < 0 || dst >= t.n {
+		return 0
+	}
+	return atomic.LoadUint64(&t.rows[src][dst])
+}
+
+// Total returns the recorded resolves across all pairs.
+func (t *Telemetry) Total() uint64 {
+	var total uint64
+	for s := 0; s < t.n; s++ {
+		row := t.rows[s]
+		for d := 0; d < t.n; d++ {
+			total += atomic.LoadUint64(&row[d])
+		}
+	}
+	return total
+}
+
+// SnapshotFlows lowers the counters into a communication pattern: one
+// flow per observed pair, Bytes = resolve count, in (src, dst) order
+// — deterministic for a quiesced fabric, so snapshots fingerprint
+// stably into the routing-table cache. Counters keep counting; pair
+// the call with Reset for windowed observation.
+func (t *Telemetry) SnapshotFlows() *pattern.Pattern {
+	p := pattern.New(t.n)
+	for s := 0; s < t.n; s++ {
+		row := t.rows[s]
+		for d := 0; d < t.n; d++ {
+			if c := atomic.LoadUint64(&row[d]); c > 0 {
+				p.Add(s, d, int64(c))
+			}
+		}
+	}
+	return p
+}
+
+// Reset zeroes every counter, starting a fresh observation window.
+// Resolves landing between a SnapshotFlows and the Reset are lost to
+// the next window; the optimizer tolerates that (telemetry steers,
+// it does not account).
+func (t *Telemetry) Reset() {
+	for s := 0; s < t.n; s++ {
+		row := t.rows[s]
+		for d := 0; d < t.n; d++ {
+			atomic.StoreUint64(&row[d], 0)
+		}
+	}
+}
+
+// FlowCount is one pair's observed traffic (for reporting).
+type FlowCount struct {
+	Src, Dst int
+	Count    uint64
+}
+
+// TopFlows returns the k heaviest observed pairs, ordered by count
+// descending with (src, dst) as the deterministic tie-break.
+func (t *Telemetry) TopFlows(k int) []FlowCount {
+	var flows []FlowCount
+	for s := 0; s < t.n; s++ {
+		row := t.rows[s]
+		for d := 0; d < t.n; d++ {
+			if c := atomic.LoadUint64(&row[d]); c > 0 {
+				flows = append(flows, FlowCount{Src: s, Dst: d, Count: c})
+			}
+		}
+	}
+	sort.Slice(flows, func(i, j int) bool {
+		if flows[i].Count != flows[j].Count {
+			return flows[i].Count > flows[j].Count
+		}
+		if flows[i].Src != flows[j].Src {
+			return flows[i].Src < flows[j].Src
+		}
+		return flows[i].Dst < flows[j].Dst
+	})
+	if k >= 0 && len(flows) > k {
+		flows = flows[:k]
+	}
+	return flows
+}

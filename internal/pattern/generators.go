@@ -2,7 +2,8 @@ package pattern
 
 import (
 	"fmt"
-	"math/rand"
+
+	"repro/internal/hashutil"
 )
 
 // DefaultCGPhaseBytes is the per-message size of every CG exchange
@@ -211,12 +212,16 @@ func AllToAll(n int, bytes int64) *Pattern {
 
 // UniformRandom builds a pattern where every node sends `flowsPerNode`
 // messages to independently drawn uniform destinations (the "random
-// traffic" of the simulation studies the paper discusses).
-func UniformRandom(n, flowsPerNode int, bytes int64, rng *rand.Rand) *Pattern {
+// traffic" of the simulation studies the paper discusses). Every
+// destination draw comes from the keyed splitmix64 stream, so the
+// pattern is a pure function of (seed, n, flowsPerNode) — the
+// coordinate-derived-randomness rule the routing schemes follow.
+func UniformRandom(n, flowsPerNode int, bytes int64, seed uint64) *Pattern {
 	p := New(n)
 	for s := 0; s < n; s++ {
 		for k := 0; k < flowsPerNode; k++ {
-			d := rng.Intn(n - 1)
+			// Modulo bias over n-1 is negligible at fat-tree scales.
+			d := int(hashutil.Mix(seed, uint64(s), uint64(k)) % uint64(n-1))
 			if d >= s {
 				d++
 			}
@@ -224,11 +229,6 @@ func UniformRandom(n, flowsPerNode int, bytes int64, rng *rand.Rand) *Pattern {
 		}
 	}
 	return p
-}
-
-// RandomPermutationPattern draws a uniform random permutation pattern.
-func RandomPermutationPattern(n int, bytes int64, rng *rand.Rand) *Pattern {
-	return RandomPerm(n, rng).Pattern(bytes)
 }
 
 // KeyedRandomPermutation draws a uniform random permutation pattern

@@ -9,7 +9,6 @@ package pattern
 
 import (
 	"fmt"
-	"math/rand"
 	"sort"
 
 	"repro/internal/hashutil"
@@ -250,11 +249,6 @@ func Identity(n int) Perm {
 	return p
 }
 
-// RandomPerm draws a uniform full permutation on n points.
-func RandomPerm(n int, rng *rand.Rand) Perm {
-	return Perm(rng.Perm(n))
-}
-
 // KeyedPerm draws a uniform full permutation on n points from the
 // keyed splitmix64 stream: a pure function of (seed, n), so the same
 // seed names the same permutation on every platform and Go version —
@@ -271,18 +265,19 @@ func KeyedPerm(n int, seed uint64) Perm {
 	return p
 }
 
-// RandomDerangementLike draws a random permutation and retries a few
-// times to avoid fixed points; used by traffic generators that want
-// every node to actually send. If fixed points survive, they remain
-// (they simply produce self-flows that carry no traffic).
-func RandomDerangementLike(n int, rng *rand.Rand) Perm {
-	p := Perm(rng.Perm(n))
+// RandomDerangementLike draws a keyed random permutation and retries
+// a few times to avoid fixed points; used by traffic generators that
+// want every node to actually send. If fixed points survive, they
+// remain (they simply produce self-flows that carry no traffic). Like
+// KeyedPerm, the result is a pure function of (seed, n).
+func RandomDerangementLike(n int, seed uint64) Perm {
+	p := KeyedPerm(n, seed)
 	for attempt := 0; attempt < 8; attempt++ {
 		fixed := false
 		for i, v := range p {
 			if i == v {
 				fixed = true
-				j := rng.Intn(n)
+				j := int(hashutil.Mix(seed, uint64(attempt), uint64(i)) % uint64(n))
 				p[i], p[j] = p[j], p[i]
 			}
 		}

@@ -108,8 +108,7 @@ func TestDegreesAndBytes(t *testing.T) {
 }
 
 func TestDecomposePreservesFlows(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
-	p := UniformRandom(16, 3, 100, rng)
+	p := UniformRandom(16, 3, 100, 7)
 	p.Add(4, 4, 50) // self flow survives decomposition
 	rounds := p.Decompose()
 	count := make(map[Flow]int)
@@ -190,8 +189,7 @@ func TestPermAlgebra(t *testing.T) {
 			t.Fatalf("identity[%d] = %d", i, v)
 		}
 	}
-	rng := rand.New(rand.NewSource(3))
-	p := RandomPerm(8, rng)
+	p := KeyedPerm(8, 3)
 	if err := p.Validate(); err != nil {
 		t.Fatal(err)
 	}
@@ -238,7 +236,7 @@ func TestQuickPermInverseInvolution(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + rng.Intn(64)
-		p := RandomPerm(n, rng)
+		p := KeyedPerm(n, uint64(seed))
 		q := p.Inverse().Inverse()
 		for i := range p {
 			if p[i] != q[i] {
@@ -256,7 +254,7 @@ func TestQuickDecomposeUnionIdentity(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		n := 2 + rng.Intn(24)
-		p := UniformRandom(n, 1+rng.Intn(4), 10, rng)
+		p := UniformRandom(n, 1+rng.Intn(4), 10, uint64(seed))
 		rounds := p.Decompose()
 		total := 0
 		for _, r := range rounds {

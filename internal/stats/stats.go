@@ -27,16 +27,20 @@ func Summarize(samples []float64) Summary {
 	s := append([]float64(nil), samples...)
 	sort.Float64s(s)
 	n := len(s)
-	var sum, sumSq float64
+	var sum float64
 	for _, v := range s {
 		sum += v
-		sumSq += v * v
 	}
 	mean := sum / float64(n)
-	variance := sumSq/float64(n) - mean*mean
-	if variance < 0 {
-		variance = 0 // numerical noise on constant samples
+	// Two-pass variance: the textbook E[x²]-E[x]² form catastrophically
+	// cancels for large-magnitude samples with small spread (makespans
+	// around 1e9 ns would report a zero or garbage StdDev).
+	var m2 float64
+	for _, v := range s {
+		d := v - mean
+		m2 += d * d
 	}
+	variance := m2 / float64(n)
 	return Summary{
 		N:      n,
 		Min:    s[0],

@@ -41,6 +41,21 @@ func TestSummarizeConstant(t *testing.T) {
 	}
 }
 
+func TestSummarizeLargeOffsetStdDev(t *testing.T) {
+	// Samples with a huge common offset and tiny spread: the old
+	// E[x²]-E[x]² variance cancelled catastrophically here (makespans
+	// around 1e9 ns reported a zero or garbage StdDev). The two-pass
+	// form is exact: variance of {0,1,2} is 2/3 regardless of offset.
+	s := Summarize([]float64{1e9, 1e9 + 1, 1e9 + 2})
+	want := math.Sqrt(2.0 / 3.0)
+	if math.Abs(s.StdDev-want) > 1e-9 {
+		t.Errorf("offset samples stddev = %.12f, want %.12f", s.StdDev, want)
+	}
+	if s.Mean != 1e9+1 {
+		t.Errorf("offset samples mean = %.3f, want 1e9+1", s.Mean)
+	}
+}
+
 func TestSummarizeInterpolation(t *testing.T) {
 	s := Summarize([]float64{1, 2, 3, 4})
 	if math.Abs(s.Median-2.5) > 1e-12 {

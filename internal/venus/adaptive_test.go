@@ -1,7 +1,6 @@
 package venus
 
 import (
-	"math/rand"
 	"testing"
 
 	"repro/internal/core"
@@ -62,8 +61,7 @@ func TestAdaptiveSelfMessage(t *testing.T) {
 
 func TestAdaptiveDeliversEverything(t *testing.T) {
 	tp := paperTree(t, 6)
-	rng := rand.New(rand.NewSource(7))
-	p := pattern.UniformRandom(256, 2, 8*1024, rng)
+	p := pattern.UniformRandom(256, 2, 8*1024, 7)
 	end, err := RunPatternAdaptive(tp, p, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)

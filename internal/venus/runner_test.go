@@ -1,7 +1,6 @@
 package venus
 
 import (
-	"math/rand"
 	"testing"
 
 	"repro/internal/core"
@@ -72,8 +71,7 @@ func TestMeasuredSlowdownConsistencyAcrossSizes(t *testing.T) {
 	// Bandwidth-bound slowdowns are nearly message-size invariant —
 	// the property that lets benchmarks scale sizes down.
 	tp := paperTree(t, 8)
-	rng := rand.New(rand.NewSource(13))
-	p16 := pattern.RandomPermutationPattern(256, 16*1024, rng)
+	p16 := pattern.KeyedRandomPermutation(256, 16*1024, 13)
 	p64 := pattern.New(256)
 	for _, f := range p16.Flows {
 		p64.Add(f.Src, f.Dst, 64*1024)

@@ -1,7 +1,6 @@
 package venus
 
 import (
-	"math/rand"
 	"testing"
 
 	"repro/internal/core"
@@ -333,8 +332,7 @@ func TestPhasedRun(t *testing.T) {
 
 func TestSimulationIsDeterministic(t *testing.T) {
 	tp := paperTree(t, 10)
-	rng := rand.New(rand.NewSource(21))
-	p := pattern.RandomPermutationPattern(256, 8*1024, rng)
+	p := pattern.KeyedRandomPermutation(256, 8*1024, 21)
 	a, err := RunPattern(tp, core.NewRandom(tp, 5), p, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)
@@ -350,8 +348,7 @@ func TestSimulationIsDeterministic(t *testing.T) {
 
 func TestAllTrafficDelivered(t *testing.T) {
 	tp := paperTree(t, 4)
-	rng := rand.New(rand.NewSource(9))
-	p := pattern.UniformRandom(256, 2, 4*1024, rng)
+	p := pattern.UniformRandom(256, 2, 4*1024, 9)
 	s, err := New(tp, DefaultConfig())
 	if err != nil {
 		t.Fatal(err)

@@ -19,8 +19,10 @@
 //   - the experiment harnesses that regenerate every table and figure
 //     of the paper,
 //   - the fabric-manager subsystem: a lock-free all-pairs route store
-//     with hot-swappable generations, link/switch-failure handling and
-//     incremental table patching (cmd/fabricd is the daemon).
+//     with hot-swappable generations, link/switch-failure handling,
+//     incremental table patching, and a telemetry-driven optimizer
+//     that re-fits the serving table to the observed traffic
+//     (cmd/fabricd is the daemon).
 //
 // Quick start:
 //
@@ -144,6 +146,19 @@ type FabricStats = fabric.Stats
 
 // FabricGeneration is one immutable epoch of a fabric's route store.
 type FabricGeneration = fabric.Generation
+
+// FabricTelemetry is the fabric's per-pair flow counters (enabled by
+// FabricConfig.Telemetry): lock-free observation of the traffic the
+// fabric actually serves, snapshot-able into a Pattern.
+type FabricTelemetry = fabric.Telemetry
+
+// OptimizeConfig parameterizes one telemetry-driven re-optimization
+// pass of a fabric (threshold, minimum signal, candidate seed).
+type OptimizeConfig = fabric.OptimizeConfig
+
+// OptimizeResult describes one re-optimization pass: the observed
+// pattern, every candidate's analytic slowdown, and the swap outcome.
+type OptimizeResult = fabric.OptimizeResult
 
 // Routing algorithm constructors.
 var (
@@ -310,12 +325,15 @@ var (
 	Figure4 = experiments.Figure4
 	Figure5 = experiments.Figure5
 	Table1  = experiments.Table1
-	// DeepTreeSweep, BalanceAblation and FaultSweep are the extension
-	// studies (three-level XGFT generalization, balanced-map
-	// ablation, degraded-topology robustness).
+	// DeepTreeSweep, BalanceAblation, FaultSweep and ShiftSweep are
+	// the extension studies (three-level XGFT generalization,
+	// balanced-map ablation, degraded-topology robustness, and the
+	// shifting-traffic comparison of static d-mod-k against the
+	// telemetry-driven re-optimizing fabric).
 	DeepTreeSweep   = experiments.DeepTreeSweep
 	BalanceAblation = experiments.BalanceAblation
 	FaultSweep      = experiments.FaultSweep
+	ShiftSweep      = experiments.ShiftSweep
 	// Summarize computes boxplot statistics.
 	Summarize = stats.Summarize
 )
