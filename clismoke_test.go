@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"os/exec"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -16,9 +17,9 @@ func TestCLISmoke(t *testing.T) {
 		t.Skip("builds binaries; skipped in -short mode")
 	}
 	bin := t.TempDir()
-	build := exec.Command("go", "build", "-o", bin, "./cmd/...")
+	build := exec.Command("go", "build", "-o", bin, "./cmd/...", "./examples/subnetmgr")
 	if out, err := build.CombinedOutput(); err != nil {
-		t.Fatalf("go build ./cmd/...: %v\n%s", err, out)
+		t.Fatalf("go build ./cmd/... ./examples/subnetmgr: %v\n%s", err, out)
 	}
 
 	cases := []struct {
@@ -27,7 +28,10 @@ func TestCLISmoke(t *testing.T) {
 	}{
 		{"experiments", []string{"-table1"}},
 		{"experiments", []string{"-shift", "-seeds", "2"}},
+		{"experiments", []string{"-placement", "-seeds", "2"}},
 		{"fabricd", []string{"-demo", "-xgft", "2;8,8;1,8"}},
+		{"fabricd", []string{"-demo", "-xgft", "2;8,8;1,4", "-sched", "telemetry"}},
+		{"subnetmgr", nil},
 		{"routegen", []string{"-xgft", "2;8,8;1,8", "-algo", "r-NCA-d", "-pattern", "shift:1"}},
 		{"routegen", []string{"-xgft", "2;8,8;1,8", "-pattern", "random-perm", "-seed", "3"}},
 		{"xgftgen", []string{"-xgft", "2;4,4;1,4"}},
@@ -47,6 +51,28 @@ func TestCLISmoke(t *testing.T) {
 				t.Fatalf("%s %v produced no output", c.name, c.args)
 			}
 		})
+	}
+
+	// Parallelism-invariance ride-along for the placement sweep: the
+	// sweep table is byte-identical between -parallel=1 and
+	// -parallel=8 (only the wall-clock footer may differ).
+	runPlacement := func(par string) string {
+		out, err := exec.Command(filepath.Join(bin, "experiments"),
+			"-placement", "-seeds", "2", "-parallel", par).Output()
+		if err != nil {
+			t.Fatalf("experiments -placement -parallel=%s: %v", par, err)
+		}
+		var kept []string
+		for _, line := range strings.Split(string(out), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "[") {
+				continue // "[0.42s]" timing footer
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n")
+	}
+	if a, b := runPlacement("1"), runPlacement("8"); a != b {
+		t.Fatalf("placement sweep differs across -parallel:\n%s\nvs\n%s", a, b)
 	}
 
 	// Determinism ride-along for the keyed CLI randomness: the same

@@ -8,6 +8,7 @@
 //	experiments -fig5a -fig5b       Fig. 5: r-NCA-u/d boxplots
 //	experiments -faults             degraded-topology sweep (failed links)
 //	experiments -shift              shifting-traffic sweep (online re-optimization)
+//	experiments -placement          multi-tenant placement churn sweep
 //	experiments -all                everything above
 //
 // By default the fast analytic engine is used; -engine simulated runs
@@ -45,6 +46,7 @@ func main() {
 		ext      = flag.Bool("ext", false, "extension: three-level XGFT generalization sweep")
 		faults   = flag.Bool("faults", false, "extension: degraded-topology sweep (failed top-level links)")
 		shift    = flag.Bool("shift", false, "extension: shifting-traffic sweep (static d-mod-k vs online re-optimization)")
+		place    = flag.Bool("placement", false, "extension: multi-tenant placement churn sweep (scheduler policies)")
 		ablate   = flag.Bool("ablation", false, "ablation: balanced vs uniform relabeling")
 		adaptive = flag.Bool("adaptive", false, "extension: adaptive vs oblivious routing")
 		engine   = flag.String("engine", "analytic", "analytic or simulated")
@@ -223,6 +225,22 @@ func main() {
 				fail(err)
 			}
 			experiments.WriteShiftSweep(os.Stdout, rows)
+			done()
+		}
+	}
+	if *all || *place {
+		if opt.Engine == experiments.Simulated && !*place {
+			// Analytic-only, like the fault sweep: during -all with a
+			// simulated engine, skip it visibly rather than abort.
+			fmt.Println("=== Extension — placement churn — skipped (analytic engine only) ===")
+			fmt.Println()
+		} else {
+			done := section("Extension — placement churn (multi-tenant scheduler policies)")
+			rows, err := experiments.PlacementSweep(opt)
+			if err != nil {
+				fail(err)
+			}
+			experiments.WritePlacementSweep(os.Stdout, rows)
 			done()
 		}
 	}

@@ -11,7 +11,15 @@
 //	fabricd -xgft "2;16,16;1,16" -algo d-mod-k -addr :7420
 //	fabricd -xgft "2;16,16;1,16" -algo r-NCA-u -seed 7 -addr :7420
 //	fabricd -xgft "2;16,16;1,10" -reoptimize 30s -threshold 0.05
+//	fabricd -xgft "2;16,16;1,10" -sched balanced
 //	fabricd -demo
+//
+// The daemon also runs the multi-tenant job scheduler
+// (internal/sched): it owns the leaf pool, places submitted jobs with
+// the -sched policy (linear, random, balanced or telemetry), and
+// after every submission or release runs a threshold-gated optimizer
+// pass over the combined tenant pattern, so the routing table follows
+// the tenant mix.
 //
 // Endpoints:
 //
@@ -19,23 +27,30 @@
 //	GET  /stats                    current generation statistics
 //	GET  /telemetry                observed traffic (counters, top flows)
 //	POST /optimize                 one re-optimization pass (?threshold=&reset=)
+//	POST /jobs?n=N&app=A           submit a job (app: perm, uniform, alltoall, wrf, cg;
+//	                               also &name=&bytes=&seed=)
+//	GET  /jobs                     scheduler snapshot (jobs, free pool, fragmentation)
+//	DELETE /jobs/{id}              release a job
 //	POST /fail-link?level=L&index=I&port=P
 //	POST /fail-switch?level=L&index=I
 //	POST /heal                     recompile the healthy table
 //	GET  /healthz                  liveness
 //
 // Query parameters are bounds-checked against the topology: negative
-// or out-of-range src/dst/level/index/port values are rejected with
-// 400 and a structured error body.
+// or out-of-range src/dst/level/index/port/n values are rejected with
+// 400 and a structured error body; a job that does not fit the free
+// pool is 409.
 //
 // -demo runs a scripted cycle without binding a port: start, resolve,
 // fail a top-level link, watch the generation swap, measure
-// resolution throughput, heal, then drive a skewed traffic pattern
-// and watch the optimizer re-fit the table to it.
+// resolution throughput, heal, drive a skewed traffic pattern and
+// watch the optimizer re-fit the table to it, then submit jobs
+// through the scheduler and watch placement drive re-optimization.
 package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
@@ -47,6 +62,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/hashutil"
+	"repro/internal/pattern"
+	"repro/internal/sched"
 	"repro/internal/xgft"
 )
 
@@ -59,17 +76,18 @@ func main() {
 		telemetry = flag.Bool("telemetry", true, "count per-pair flows on the resolve path")
 		reopt     = flag.Duration("reoptimize", 0, "periodic re-optimization interval (0 = only on POST /optimize)")
 		threshold = flag.Float64("threshold", 0.05, "minimum relative slowdown improvement required to swap tables")
-		demo      = flag.Bool("demo", false, "run a scripted failure/heal/re-optimize cycle and exit (no server)")
+		policy    = flag.String("sched", "linear", "job placement policy: "+strings.Join(sched.PolicyNames(), ", "))
+		demo      = flag.Bool("demo", false, "run a scripted failure/heal/re-optimize/schedule cycle and exit (no server)")
 	)
 	flag.Parse()
 
-	f, err := build(*spec, *algo, *seed, *telemetry || *demo)
+	f, s, err := build(*spec, *algo, *policy, *seed, *telemetry || *demo)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fabricd:", err)
 		os.Exit(2)
 	}
 	if *demo {
-		if err := runDemo(f); err != nil {
+		if err := runDemo(f, s, *threshold); err != nil {
 			fmt.Fprintln(os.Stderr, "fabricd:", err)
 			os.Exit(2)
 		}
@@ -82,23 +100,72 @@ func main() {
 		}
 		go reoptimizeLoop(f, *reopt, *threshold)
 	}
-	fmt.Printf("fabricd: serving %s under %s on %s\n", f.Topology(), *algo, *addr)
-	if err := http.ListenAndServe(*addr, newMux(f, *threshold)); err != nil {
+	fmt.Printf("fabricd: serving %s under %s on %s (scheduler policy %s)\n", f.Topology(), *algo, *addr, s.Policy())
+	if err := http.ListenAndServe(*addr, newMux(f, s, *threshold)); err != nil {
 		fmt.Fprintln(os.Stderr, "fabricd:", err)
 		os.Exit(2)
 	}
 }
 
-func build(spec, algoName string, seed uint64, telemetry bool) (*fabric.Fabric, error) {
+func build(spec, algoName, policyName string, seed uint64, telemetry bool) (*fabric.Fabric, *sched.Scheduler, error) {
 	tp, err := xgft.Parse(spec)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	algo, err := core.NewByName(algoName, tp, seed, nil)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return fabric.New(fabric.Config{Topo: tp, Algo: algo, Telemetry: telemetry})
+	policy, err := sched.PolicyByName(policyName)
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := fabric.New(fabric.Config{Topo: tp, Algo: algo, Telemetry: telemetry})
+	if err != nil {
+		return nil, nil, err
+	}
+	s, err := sched.New(sched.Config{Fabric: f, Policy: policy, Seed: seed})
+	if err != nil {
+		return nil, nil, err
+	}
+	return f, s, nil
+}
+
+// jobSpec builds a submission from the job endpoint's parameters: a
+// size plus one of the canned application profiles.
+func jobSpec(name, app string, n int, bytes int64, seed uint64) (sched.JobSpec, error) {
+	if bytes <= 0 {
+		bytes = 64 * 1024
+	}
+	var phases []*pattern.Pattern
+	switch app {
+	case "", "perm", "permutation":
+		phases = []*pattern.Pattern{pattern.KeyedRandomPermutation(n, bytes, hashutil.Mix(0x10b5, seed))}
+	case "uniform":
+		phases = []*pattern.Pattern{pattern.UniformRandom(n, 1, bytes, hashutil.Mix(0x10b6, seed))}
+	case "alltoall":
+		phases = []*pattern.Pattern{pattern.AllToAll(n, bytes)}
+	case "wrf":
+		if n < 32 || n%16 != 0 {
+			return sched.JobSpec{}, fmt.Errorf("wrf needs a size that is a multiple of 16 and >= 32, got %d", n)
+		}
+		phases = []*pattern.Pattern{pattern.WRF(n/16, 16, bytes)}
+	case "cg":
+		cg, err := pattern.CGPhases(n, bytes)
+		if err != nil {
+			return sched.JobSpec{}, err
+		}
+		phases = cg
+	default:
+		return sched.JobSpec{}, fmt.Errorf("unknown app %q (want perm, uniform, alltoall, wrf or cg)", app)
+	}
+	if name == "" {
+		if app == "" {
+			app = "perm"
+		}
+		name = fmt.Sprintf("%s-%d", app, n)
+	}
+	return sched.JobSpec{Name: name, N: n, Phases: phases}, nil
 }
 
 // reoptimizeLoop periodically re-fits the table to the traffic
@@ -182,6 +249,46 @@ type errJSON struct {
 	Error string `json:"error"`
 }
 
+// jobJSON is the wire form of a placed job.
+type jobJSON struct {
+	ID     uint64 `json:"id"`
+	Name   string `json:"name"`
+	N      int    `json:"n"`
+	Policy string `json:"policy"`
+	Leaves []int  `json:"leaves"`
+}
+
+func jobToJSON(j *sched.Job) jobJSON {
+	return jobJSON{ID: j.ID, Name: j.Name, N: j.N, Policy: j.Policy, Leaves: j.Leaves}
+}
+
+// snapshotJSON is the wire form of sched.Snapshot.
+type snapshotJSON struct {
+	Policy        string    `json:"policy"`
+	Leaves        int       `json:"leaves"`
+	Free          int       `json:"free"`
+	FreeBlocks    int       `json:"free_blocks"`
+	LargestFree   int       `json:"largest_free"`
+	Fragmentation float64   `json:"fragmentation"`
+	Jobs          []jobJSON `json:"jobs"`
+}
+
+func snapshotToJSON(snap sched.Snapshot) snapshotJSON {
+	out := snapshotJSON{
+		Policy:        snap.Policy,
+		Leaves:        snap.Leaves,
+		Free:          snap.Free,
+		FreeBlocks:    snap.FreeBlocks,
+		LargestFree:   snap.LargestFree,
+		Fragmentation: snap.Fragmentation,
+		Jobs:          []jobJSON{},
+	}
+	for _, j := range snap.Jobs {
+		out.Jobs = append(out.Jobs, jobJSON{ID: j.ID, Name: j.Name, N: j.N, Policy: snap.Policy, Leaves: j.Leaves})
+	}
+	return out
+}
+
 // intArgIn parses query parameter name as an integer in [lo, hi]; a
 // missing, malformed or out-of-range value is a client error.
 func intArgIn(r *http.Request, name string, lo, hi int) (int, error) {
@@ -195,7 +302,7 @@ func intArgIn(r *http.Request, name string, lo, hi int) (int, error) {
 	return v, nil
 }
 
-func newMux(f *fabric.Fabric, threshold float64) *http.ServeMux {
+func newMux(f *fabric.Fabric, s *sched.Scheduler, threshold float64) *http.ServeMux {
 	tp := f.Topology()
 	mux := http.NewServeMux()
 	reply := func(w http.ResponseWriter, code int, v any) {
@@ -203,6 +310,85 @@ func newMux(f *fabric.Fabric, threshold float64) *http.ServeMux {
 		w.WriteHeader(code)
 		json.NewEncoder(w).Encode(v)
 	}
+	// reoptimize runs the threshold-gated pass over the combined
+	// tenant pattern after a placement change and returns the fields
+	// to merge into the response: the pass result, or nil when
+	// telemetry is off, or an "optimize_error" when the pass itself
+	// failed. The placement has already committed either way, so the
+	// handler must still report it — a pass failure keeps the old
+	// routing table serving, it does not undo the allocation.
+	reoptimize := func(resp map[string]any) {
+		res, ran, err := s.Reoptimize(threshold)
+		switch {
+		case err != nil:
+			resp["optimize"] = nil
+			resp["optimize_error"] = err.Error()
+		case ran:
+			resp["optimize"] = optimizeToJSON(res)
+		default:
+			resp["optimize"] = nil
+		}
+	}
+	mux.HandleFunc("GET /jobs", func(w http.ResponseWriter, r *http.Request) {
+		reply(w, http.StatusOK, snapshotToJSON(s.Snapshot()))
+	})
+	mux.HandleFunc("POST /jobs", func(w http.ResponseWriter, r *http.Request) {
+		n, err := intArgIn(r, "n", 1, tp.Leaves())
+		if err != nil {
+			reply(w, http.StatusBadRequest, errJSON{err.Error()})
+			return
+		}
+		var bytes int64
+		if v := r.URL.Query().Get("bytes"); v != "" {
+			b, err := strconv.ParseInt(v, 10, 64)
+			if err != nil || b < 1 {
+				reply(w, http.StatusBadRequest, errJSON{fmt.Sprintf("bad %q: want a positive integer", "bytes")})
+				return
+			}
+			bytes = b
+		}
+		var seed uint64 = 1
+		if v := r.URL.Query().Get("seed"); v != "" {
+			sd, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				reply(w, http.StatusBadRequest, errJSON{fmt.Sprintf("bad %q: want an unsigned integer", "seed")})
+				return
+			}
+			seed = sd
+		}
+		spec, err := jobSpec(r.URL.Query().Get("name"), r.URL.Query().Get("app"), n, bytes, seed)
+		if err != nil {
+			reply(w, http.StatusBadRequest, errJSON{err.Error()})
+			return
+		}
+		job, err := s.Submit(spec)
+		switch {
+		case errors.Is(err, sched.ErrNoCapacity):
+			reply(w, http.StatusConflict, errJSON{err.Error()})
+			return
+		case err != nil:
+			reply(w, http.StatusInternalServerError, errJSON{err.Error()})
+			return
+		}
+		resp := map[string]any{"job": jobToJSON(job)}
+		reoptimize(resp)
+		reply(w, http.StatusOK, resp)
+	})
+	mux.HandleFunc("DELETE /jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
+		id, err := strconv.ParseUint(r.PathValue("id"), 10, 64)
+		if err != nil {
+			reply(w, http.StatusBadRequest, errJSON{fmt.Sprintf("bad job id %q", r.PathValue("id"))})
+			return
+		}
+		if err := s.Release(id); err != nil {
+			reply(w, http.StatusNotFound, errJSON{err.Error()})
+			return
+		}
+		resp := map[string]any{"released": id}
+		reoptimize(resp)
+		resp["scheduler"] = snapshotToJSON(s.Snapshot())
+		reply(w, http.StatusOK, resp)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		reply(w, http.StatusOK, map[string]uint64{"generation": f.Stats().Seq})
 	})
@@ -339,8 +525,10 @@ func newMux(f *fabric.Fabric, threshold float64) *http.ServeMux {
 
 // runDemo walks the daemon's lifecycle on stdout: compile, resolve,
 // degrade, observe the generation swap, measure throughput, heal,
-// then skew the traffic and watch the optimizer re-fit the table.
-func runDemo(f *fabric.Fabric) error {
+// skew the traffic and watch the optimizer re-fit the table, then
+// place jobs through the scheduler and watch submissions drive
+// re-optimization over the tenant mix.
+func runDemo(f *fabric.Fabric, s *sched.Scheduler, threshold float64) error {
 	tp := f.Topology()
 	printStats := func(st fabric.Stats) {
 		fmt.Printf("  generation %d (%s): %d routes, %d patched, %d unreachable, %d failed wires, cache hit %v, built in %v\n",
@@ -422,6 +610,63 @@ func runDemo(f *fabric.Fabric) error {
 	} else {
 		fmt.Printf("kept %s: best candidate %s (%.3f) does not beat current %.3f\n", st.Algo, res.Best, res.BestSlowdown, res.Current)
 	}
+	printStats(f.Stats())
+
+	// Multi-tenant scheduling: submit two jobs, watch placement
+	// trigger a threshold-gated optimizer pass over the tenant mix,
+	// release one and watch the pool heal.
+	f.Telemetry().Reset()
+	fmt.Printf("scheduler: policy %s over %d leaves\n", s.Policy(), tp.Leaves())
+	submit := func(app string, jn int) (*sched.Job, error) {
+		spec, err := jobSpec("", app, jn, 0, 1)
+		if err != nil {
+			return nil, err
+		}
+		job, err := s.Submit(spec)
+		if err != nil {
+			return nil, err
+		}
+		fmt.Printf("  job %d (%s): leaves %v\n", job.ID, job.Name, job.Leaves)
+		res, ran, err := s.Reoptimize(threshold)
+		if err != nil {
+			return nil, err
+		}
+		if ran && res.Swapped {
+			fmt.Printf("  re-optimized for the tenant mix: %s (%.3f) -> %s (%.3f)\n",
+				res.Stats.Algo, res.Current, res.Best, res.BestSlowdown)
+		} else if ran {
+			fmt.Printf("  kept %s for the tenant mix (best %s %.3f vs current %.3f)\n",
+				f.Stats().Algo, res.Best, res.BestSlowdown, res.Current)
+		}
+		return job, nil
+	}
+	// CG needs a power-of-two size: the largest one at most a quarter
+	// of the pool, so the stage works for any -xgft the demo accepts.
+	cgSize := 4
+	for cgSize*2 <= tp.Leaves()/4 {
+		cgSize *= 2
+	}
+	first, err := submit("cg", cgSize)
+	if err != nil {
+		return err
+	}
+	permSize := tp.Leaves() / 8
+	if permSize < 2 {
+		permSize = 2
+	}
+	if _, err := submit("perm", permSize); err != nil {
+		return err
+	}
+	snap := s.Snapshot()
+	fmt.Printf("  pool: %d/%d free, %d blocks, fragmentation %.2f\n",
+		snap.Free, snap.Leaves, snap.FreeBlocks, snap.Fragmentation)
+	fmt.Printf("releasing job %d...\n", first.ID)
+	if err := s.Release(first.ID); err != nil {
+		return err
+	}
+	snap = s.Snapshot()
+	fmt.Printf("  pool: %d/%d free, %d blocks, fragmentation %.2f, %d jobs remain\n",
+		snap.Free, snap.Leaves, snap.FreeBlocks, snap.Fragmentation, len(snap.Jobs))
 	printStats(f.Stats())
 	return nil
 }

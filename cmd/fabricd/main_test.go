@@ -5,16 +5,19 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"sync"
 	"testing"
+
+	"repro/internal/xgft"
 )
 
 func testMux(t *testing.T, spec string) *http.ServeMux {
 	t.Helper()
-	f, err := build(spec, "d-mod-k", 1, true)
+	f, s, err := build(spec, "d-mod-k", "balanced", 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newMux(f, 0)
+	return newMux(f, s, 0)
 }
 
 func do(t *testing.T, mux *http.ServeMux, method, target string) (int, map[string]any) {
@@ -159,11 +162,11 @@ func TestOptimizeHandler(t *testing.T) {
 }
 
 func TestOptimizeHandlerWithoutTelemetry(t *testing.T) {
-	f, err := build("2;4,4;1,4", "d-mod-k", 1, false)
+	f, s, err := build("2;4,4;1,4", "d-mod-k", "linear", 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mux := newMux(f, 0)
+	mux := newMux(f, s, 0)
 	if code, _ := do(t, mux, "POST", "/optimize"); code != http.StatusConflict {
 		t.Errorf("optimize without telemetry: code %d, want 409", code)
 	}
@@ -173,3 +176,140 @@ func TestOptimizeHandlerWithoutTelemetry(t *testing.T) {
 }
 
 func itoa(v int) string { return strconv.Itoa(v) }
+
+func TestJobEndpoints(t *testing.T) {
+	mux := testMux(t, "2;8,8;1,4")
+	// An empty scheduler snapshot.
+	code, body := do(t, mux, "GET", "/jobs")
+	if code != http.StatusOK || body["policy"] != "balanced" || body["free"] != float64(64) {
+		t.Fatalf("initial snapshot: %d %v", code, body)
+	}
+	if jobs, ok := body["jobs"].([]any); !ok || len(jobs) != 0 {
+		t.Fatalf("initial snapshot jobs: %v", body["jobs"])
+	}
+	// Submit a CG job; the response carries the placement and the
+	// optimizer pass over the tenant mix.
+	code, body = do(t, mux, "POST", "/jobs?app=cg&n=16&name=tenant-a")
+	if code != http.StatusOK {
+		t.Fatalf("submit: %d %v", code, body)
+	}
+	job, _ := body["job"].(map[string]any)
+	if job["id"] != float64(1) || job["name"] != "tenant-a" || job["policy"] != "balanced" {
+		t.Fatalf("submitted job %v", job)
+	}
+	if leaves, _ := job["leaves"].([]any); len(leaves) != 16 {
+		t.Fatalf("job leaves %v", job["leaves"])
+	}
+	if _, ok := body["optimize"].(map[string]any); !ok {
+		t.Fatalf("submit response has no optimizer pass: %v", body)
+	}
+	// A second job, then the snapshot shows both in submission order.
+	if code, body = do(t, mux, "POST", "/jobs?app=perm&n=8"); code != http.StatusOK {
+		t.Fatalf("second submit: %d %v", code, body)
+	}
+	code, body = do(t, mux, "GET", "/jobs")
+	jobs, _ := body["jobs"].([]any)
+	if code != http.StatusOK || len(jobs) != 2 || body["free"] != float64(64-24) {
+		t.Fatalf("snapshot with tenants: %d %v", code, body)
+	}
+	first, _ := jobs[0].(map[string]any)
+	if first["id"] != float64(1) || first["name"] != "tenant-a" {
+		t.Fatalf("snapshot job order: %v", jobs)
+	}
+	// Release the first job.
+	code, body = do(t, mux, "DELETE", "/jobs/1")
+	if code != http.StatusOK || body["released"] != float64(1) {
+		t.Fatalf("release: %d %v", code, body)
+	}
+	snap, _ := body["scheduler"].(map[string]any)
+	if snap["free"] != float64(64-8) {
+		t.Fatalf("post-release snapshot: %v", snap)
+	}
+	// Releasing it again is 404; garbage IDs are 400.
+	if code, _ = do(t, mux, "DELETE", "/jobs/1"); code != http.StatusNotFound {
+		t.Errorf("double release: code %d, want 404", code)
+	}
+	if code, _ = do(t, mux, "DELETE", "/jobs/banana"); code != http.StatusBadRequest {
+		t.Errorf("garbage id: code %d, want 400", code)
+	}
+}
+
+func TestJobSubmitRejectsBadRequests(t *testing.T) {
+	mux := testMux(t, "2;8,8;1,8")
+	for _, target := range []string{
+		"/jobs",                  // missing n
+		"/jobs?n=0",              // too small
+		"/jobs?n=65",             // larger than the pool
+		"/jobs?n=notanint",       // malformed
+		"/jobs?n=8&app=spiral",   // unknown app
+		"/jobs?n=24&app=cg",      // CG needs a power of two
+		"/jobs?n=24&app=wrf",     // WRF needs a multiple of 16 >= 32
+		"/jobs?n=8&bytes=-4",     // bad message size
+		"/jobs?n=8&seed=notuint", // bad seed
+	} {
+		code, body := do(t, mux, "POST", target)
+		if code != http.StatusBadRequest {
+			t.Errorf("POST %s: code %d, want 400 (%v)", target, code, body)
+		}
+		if msg, _ := body["error"].(string); msg == "" {
+			t.Errorf("POST %s: no structured error body: %v", target, body)
+		}
+	}
+	// A job that does not fit the free pool is a conflict, not a
+	// client error.
+	if code, _ := do(t, mux, "POST", "/jobs?n=64"); code != http.StatusOK {
+		t.Fatalf("pool-filling job rejected: %d", code)
+	}
+	if code, _ := do(t, mux, "POST", "/jobs?n=1"); code != http.StatusConflict {
+		t.Errorf("over-capacity job: code %d, want 409", code)
+	}
+}
+
+// TestJobChurnRacingResolveBatch hammers the job endpoints while a
+// resolver floods ResolveBatch (run with -race): scheduler-driven
+// optimizer swaps must never disturb the lock-free resolve path.
+func TestJobChurnRacingResolveBatch(t *testing.T) {
+	f, s, err := build("2;8,8;1,4", "d-mod-k", "telemetry", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mux := newMux(f, s, 0)
+	n := f.Topology().Leaves()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			pairs := make([][2]int, 128)
+			out := make([]xgft.Route, len(pairs))
+			for i := range pairs {
+				pairs[i] = [2]int{(i + w) % n, (i * 11) % n}
+			}
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if got := f.ResolveBatch(pairs, out); got != len(pairs) {
+					t.Errorf("resolved %d/%d", got, len(pairs))
+					return
+				}
+			}
+		}(w)
+	}
+	for i := 0; i < 15; i++ {
+		code, body := do(t, mux, "POST", "/jobs?app=cg&n=16")
+		if code != http.StatusOK {
+			t.Fatalf("submit %d: %d %v", i, code, body)
+		}
+		job, _ := body["job"].(map[string]any)
+		id := int(job["id"].(float64))
+		if code, body = do(t, mux, "DELETE", "/jobs/"+itoa(id)); code != http.StatusOK {
+			t.Fatalf("release %d: %d %v", id, code, body)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}

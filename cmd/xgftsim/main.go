@@ -34,7 +34,7 @@ func main() {
 		seed    = flag.Uint64("seed", 1, "seed for randomized schemes")
 		bytes   = flag.Int64("bytes", 0, "message size override (0 = paper sizes)")
 		engine  = flag.String("engine", "simulated", "engine: simulated or analytic")
-		mapping = flag.String("mapping", "linear", "rank placement: linear, round-robin or random")
+		mapping = flag.String("mapping", "linear", "rank placement: linear, round-robin, random or an explicit leaves:0,17,... allocation")
 		cut     = flag.Bool("cut-through", false, "virtual cut-through instead of store-and-forward")
 	)
 	flag.Parse()

@@ -2,7 +2,9 @@
 // it (and the application trace), then reload both and replay — the
 // way the paper's routes were "supplied, along with the topology and
 // mapping, to the Venus simulator". Demonstrates the FixedTable and
-// trace serialization APIs.
+// trace serialization APIs, then the online counterpart: a serving
+// fabric with the multi-tenant job scheduler on top (submit two
+// jobs, fail a link, release a job, re-optimize for the tenant mix).
 package main
 
 import (
@@ -77,4 +79,65 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("the same fabric under d-mod-k:                        slowdown %.2f\n", dmodk)
+
+	// 4. Online: the same role as a live subnet manager — a serving
+	// fabric whose leaf pool the job scheduler owns. Placement is
+	// policy-driven and every job's pattern is remapped onto its
+	// allocation (the MappingFromLeaves path used for replays too).
+	fab, err := repro.NewFabric(repro.FabricConfig{
+		Topo: tree, Algo: repro.NewDModK(tree), Telemetry: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched, err := repro.NewScheduler(repro.SchedulerConfig{
+		Fabric: fab, Policy: repro.BalancedPlacement(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cgPhases, err := repro.CGPhases(64, 64*1024)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobA, err := sched.Submit(repro.JobSpec{Name: "cg-64", N: 64, Phases: cgPhases})
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobB, err := sched.Submit(repro.JobSpec{
+		Name: "wrf-32", N: 32,
+		Phases: []*repro.Pattern{repro.WRF(2, 16, 64*1024)},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("scheduled %s on leaves %d-%d and %s on leaves %d-%d (policy %s)\n",
+		jobA.Name, jobA.Leaves[0], jobA.Leaves[len(jobA.Leaves)-1],
+		jobB.Name, jobB.Leaves[0], jobB.Leaves[len(jobB.Leaves)-1], sched.Policy())
+
+	// A top-level link fails under the tenants: the fabric patches
+	// only the routes riding it and hot-swaps the generation.
+	st, err := fab.FailLink(1, 0, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("failed link (1,0,0): generation %d patched %d routes\n", st.Seq, st.Patched)
+
+	// One tenant departs; re-optimizing over the remaining mix lets
+	// the pattern-aware candidate take the table if it helps.
+	if err := sched.Release(jobA.ID); err != nil {
+		log.Fatal(err)
+	}
+	res, ran, err := sched.Reoptimize(0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	snap := sched.Snapshot()
+	if ran && res.Swapped {
+		fmt.Printf("released %s; re-optimized to %s (slowdown %.2f -> %.2f), %d/%d leaves free\n",
+			jobA.Name, res.Best, res.Current, res.BestSlowdown, snap.Free, snap.Leaves)
+	} else {
+		fmt.Printf("released %s; kept %s (best %s %.2f vs current %.2f), %d/%d leaves free\n",
+			jobA.Name, fab.Stats().Algo, res.Best, res.BestSlowdown, res.Current, snap.Free, snap.Leaves)
+	}
 }

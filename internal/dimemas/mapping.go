@@ -2,6 +2,8 @@ package dimemas
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/hashutil"
 	"repro/internal/pattern"
@@ -60,9 +62,53 @@ func RandomMapping(t *xgft.Topology, n int, seed int64) ([]int, error) {
 	return []int(perm[:n]), nil
 }
 
-// MappingByName resolves "linear", "round-robin" or "random" (the
-// command-line selector).
+// MappingFromLeaves places rank r on leaves[r]: the mapping that
+// replays a trace onto an arbitrary allocation, such as one handed
+// out by the job scheduler. leaves must hold at least n distinct
+// non-negative entries; extra entries are ignored, so a scheduler can
+// pass a whole allocation for a smaller rank count.
+func MappingFromLeaves(leaves []int, n int) ([]int, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("dimemas: mapping needs at least one rank, got %d", n)
+	}
+	if n > len(leaves) {
+		return nil, fmt.Errorf("dimemas: %d ranks do not fit %d leaves", n, len(leaves))
+	}
+	m := make([]int, n)
+	seen := make(map[int]bool, n)
+	for r := 0; r < n; r++ {
+		l := leaves[r]
+		if l < 0 {
+			return nil, fmt.Errorf("dimemas: leaf %d for rank %d is negative", l, r)
+		}
+		if seen[l] {
+			return nil, fmt.Errorf("dimemas: leaf %d assigned to two ranks", l)
+		}
+		seen[l] = true
+		m[r] = l
+	}
+	return m, nil
+}
+
+// MappingByName resolves "linear", "round-robin", "random" or an
+// explicit allocation "leaves:0,17,33,..." (the command-line
+// selector).
 func MappingByName(name string, t *xgft.Topology, n int, seed int64) ([]int, error) {
+	if list, ok := strings.CutPrefix(name, "leaves:"); ok {
+		parts := strings.Split(list, ",")
+		leaves := make([]int, len(parts))
+		for i, p := range parts {
+			v, err := strconv.Atoi(strings.TrimSpace(p))
+			if err != nil {
+				return nil, fmt.Errorf("dimemas: bad leaf %q in mapping %q", p, name)
+			}
+			if v >= t.Leaves() {
+				return nil, fmt.Errorf("dimemas: leaf %d out of range [0,%d)", v, t.Leaves())
+			}
+			leaves[i] = v
+		}
+		return MappingFromLeaves(leaves, n)
+	}
 	switch name {
 	case "", "linear", "sequential":
 		return LinearMapping(n), nil
@@ -71,6 +117,6 @@ func MappingByName(name string, t *xgft.Topology, n int, seed int64) ([]int, err
 	case "random":
 		return RandomMapping(t, n, seed)
 	default:
-		return nil, fmt.Errorf("dimemas: unknown mapping %q (want linear, round-robin or random)", name)
+		return nil, fmt.Errorf("dimemas: unknown mapping %q (want linear, round-robin, random or leaves:0,4,...)", name)
 	}
 }

@@ -90,6 +90,46 @@ func TestRandomMappingDeterministicPerSeed(t *testing.T) {
 	}
 }
 
+func TestMappingFromLeaves(t *testing.T) {
+	cases := []struct {
+		name   string
+		leaves []int
+		n      int
+		want   []int // nil means an error is expected
+	}{
+		{"exact", []int{4, 9, 17}, 3, []int{4, 9, 17}},
+		{"prefix of a larger allocation", []int{4, 9, 17, 30}, 2, []int{4, 9}},
+		{"single rank", []int{255}, 1, []int{255}},
+		{"too few leaves", []int{4, 9}, 3, nil},
+		{"zero ranks", []int{4}, 0, nil},
+		{"negative leaf", []int{4, -1, 2}, 3, nil},
+		{"duplicate leaf", []int{4, 9, 4}, 3, nil},
+		{"duplicate outside the used prefix", []int{4, 9, 9}, 2, []int{4, 9}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			got, err := dimemas.MappingFromLeaves(c.leaves, c.n)
+			if c.want == nil {
+				if err == nil {
+					t.Fatalf("MappingFromLeaves(%v, %d) = %v, want error", c.leaves, c.n, got)
+				}
+				return
+			}
+			if err != nil {
+				t.Fatalf("MappingFromLeaves(%v, %d): %v", c.leaves, c.n, err)
+			}
+			if len(got) != len(c.want) {
+				t.Fatalf("mapping %v, want %v", got, c.want)
+			}
+			for i := range got {
+				if got[i] != c.want[i] {
+					t.Fatalf("mapping %v, want %v", got, c.want)
+				}
+			}
+		})
+	}
+}
+
 func TestMappingByName(t *testing.T) {
 	tp := slimTree(t, 16)
 	for _, name := range []string{"", "linear", "sequential", "round-robin", "rr", "random"} {
@@ -99,6 +139,19 @@ func TestMappingByName(t *testing.T) {
 	}
 	if _, err := dimemas.MappingByName("spiral", tp, 32, 1); err == nil {
 		t.Error("unknown mapping accepted")
+	}
+	// Explicit allocations ride the same selector.
+	m, err := dimemas.MappingByName("leaves:3, 7,255", tp, 3, 1)
+	if err != nil {
+		t.Fatalf("leaves selector: %v", err)
+	}
+	if m[0] != 3 || m[1] != 7 || m[2] != 255 {
+		t.Errorf("leaves mapping %v", m)
+	}
+	for _, bad := range []string{"leaves:3,x", "leaves:3,256", "leaves:3,3", "leaves:3"} {
+		if _, err := dimemas.MappingByName(bad, tp, 2, 1); err == nil {
+			t.Errorf("MappingByName(%q) accepted", bad)
+		}
 	}
 }
 

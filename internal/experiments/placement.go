@@ -1,0 +1,306 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/hashutil"
+	"repro/internal/pattern"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/xgft"
+)
+
+// The placement churn sweep: the paper evaluates routing for one
+// workload owning the whole XGFT; a multi-tenant cluster instead runs
+// a churning mix of jobs whose placement decides which routes ever
+// carry traffic. This sweep drives an arrival/departure schedule
+// (keyed-hash interarrivals and lifetimes, a WRF/CG/permutation job
+// mix) through a scheduler per placement policy and measures, per
+// placed job, the analytic slowdown of the job's remapped traffic
+// inside the full tenant mix — plus the free-pool fragmentation the
+// policy leaves behind over time. Placement quality and routing
+// quality interact: a policy that scatters a job turns its locality
+// into top-level crossings no routing table can undo.
+
+// placementSeed domain-separates the churn schedule's draws.
+const placementSeed = 0x9ac37
+
+// placementJobs is the number of arrivals each seed's schedule
+// submits.
+const placementJobs = 30
+
+// placementPolicies enumerates the compared policies in result order.
+var placementPolicies = []string{"linear", "random", "balanced", "telemetry"}
+
+// placementJob is one arrival of the churn schedule.
+type placementJob struct {
+	arrive int64
+	depart int64
+	spec   sched.JobSpec
+}
+
+// placementSpec draws job e of seed s from the keyed splitmix64
+// stream: a WRF halo, a CG phase set or a random permutation, sized
+// so the mix fragments the pool (sizes are not all multiples of each
+// other) without filling it.
+func placementSpec(seed uint64, e int, bytes int64) (sched.JobSpec, error) {
+	kind := hashutil.Mix(placementSeed, seed, uint64(e), 1) % 3
+	pick := hashutil.Mix(placementSeed, seed, uint64(e), 2)
+	switch kind {
+	case 0: // WRF halo on an n/16 x 16 task mesh
+		n := []int{32, 48, 64}[pick%3]
+		return sched.JobSpec{
+			Name:   fmt.Sprintf("wrf-%d", n),
+			N:      n,
+			Phases: []*pattern.Pattern{pattern.WRF(n/16, 16, bytes)},
+		}, nil
+	case 1: // NAS CG phase structure
+		n := []int{32, 64, 128}[pick%3]
+		phases, err := pattern.CGPhases(n, bytes)
+		if err != nil {
+			return sched.JobSpec{}, err
+		}
+		return sched.JobSpec{
+			Name:   fmt.Sprintf("cg-%d", n),
+			N:      n,
+			Phases: phases,
+		}, nil
+	default: // random permutation
+		n := []int{8, 16, 24, 40}[pick%4]
+		p := pattern.KeyedRandomPermutation(n, bytes, hashutil.Mix(placementSeed, seed, uint64(e), 3))
+		return sched.JobSpec{
+			Name:   fmt.Sprintf("perm-%d", n),
+			N:      n,
+			Phases: []*pattern.Pattern{p},
+		}, nil
+	}
+}
+
+// placementSchedule draws seed s's full arrival schedule: keyed-hash
+// interarrivals (1-15 ticks) and lifetimes (25-84 ticks), so the
+// steady state holds several concurrent tenants and departures
+// interleave with arrivals.
+func placementSchedule(seed uint64, bytes int64) ([]placementJob, error) {
+	jobs := make([]placementJob, placementJobs)
+	var t int64
+	for e := range jobs {
+		t += 1 + int64(hashutil.Mix(placementSeed, seed, uint64(e), 4)%15)
+		life := 25 + int64(hashutil.Mix(placementSeed, seed, uint64(e), 5)%60)
+		spec, err := placementSpec(seed, e, bytes)
+		if err != nil {
+			return nil, err
+		}
+		jobs[e] = placementJob{arrive: t, depart: t + life, spec: spec}
+	}
+	return jobs, nil
+}
+
+// perJobSlowdown measures one job inside the current tenant mix: the
+// congestion bound restricted to the resources the job's flows touch
+// (its injection/ejection adapters and every channel its routes
+// ride, loaded with all tenants' bytes), normalized by the job's own
+// crossbar bound. 1 means the placement added no contention at all;
+// interference from co-tenants sharing a channel counts against the
+// job.
+func perJobSlowdown(tp *xgft.Topology, gen *fabric.Generation, combined, job *pattern.Pattern) (float64, error) {
+	routes := make([]xgft.Route, len(combined.Flows))
+	for i, fl := range combined.Flows {
+		r, ok := gen.Resolve(fl.Src, fl.Dst)
+		if !ok {
+			return 0, fmt.Errorf("experiments: pair (%d,%d) did not resolve", fl.Src, fl.Dst)
+		}
+		routes[i] = r
+	}
+	a, err := contention.Analyze(tp, combined, routes)
+	if err != nil {
+		return 0, err
+	}
+	var bound int64
+	max := func(v int64) {
+		if v > bound {
+			bound = v
+		}
+	}
+	for _, fl := range job.Flows {
+		if fl.Src == fl.Dst {
+			continue
+		}
+		max(a.InjectBytes[fl.Src])
+		max(a.EjectBytes[fl.Dst])
+		r, ok := gen.Resolve(fl.Src, fl.Dst)
+		if !ok {
+			return 0, fmt.Errorf("experiments: job pair (%d,%d) did not resolve", fl.Src, fl.Dst)
+		}
+		r.Walk(tp, func(_, _, _, ch int, up bool) {
+			if up {
+				max(a.UpBytes[ch])
+			} else {
+				max(a.DownBytes[ch])
+			}
+		})
+	}
+	xb := contention.CrossbarBound(job)
+	if xb == 0 {
+		return 1, nil
+	}
+	return float64(bound) / float64(xb), nil
+}
+
+// PlacementRow is one policy's aggregate over the churn schedule.
+type PlacementRow struct {
+	Policy string
+	// Placed and Rejected count submissions across all seeds.
+	Placed   int
+	Rejected int
+	// PerJob is the distribution of per-job slowdowns at placement
+	// time; Frag the distribution of free-pool fragmentation sampled
+	// after every arrival.
+	PerJob stats.Summary
+	Frag   stats.Summary
+}
+
+// PlacementSweep runs the churn schedule on the paper's cost-reduced
+// tree XGFT(2;16,16;1,10) once per (policy, seed) cell on the
+// parallel engine. Every cell owns a telemetry-enabled d-mod-k fabric
+// and a scheduler; the fabric's counters are re-synced to the tenant
+// mix after every event, so the telemetry policy scores candidates
+// against genuinely observed background flows. The routing table is
+// held static (d-mod-k) for every policy, isolating placement quality
+// from the optimizer's table churn. Schedules, placements and
+// measurements are pure functions of the cell coordinates, so results
+// are byte-identical for any Parallelism. Options.Seeds defaults to 8
+// here; the sweep is analytic-only.
+func PlacementSweep(opt Options) ([]PlacementRow, error) {
+	if opt.Seeds <= 0 {
+		opt.Seeds = 8
+	}
+	opt = opt.withDefaults()
+	if opt.Engine != Analytic {
+		return nil, fmt.Errorf("experiments: the placement sweep supports only the analytic engine, not %q", opt.Engine)
+	}
+	tp, err := xgft.NewSlimmedTree(16, 16, 10)
+	if err != nil {
+		return nil, err
+	}
+	bytes := opt.MessageBytes
+	if bytes <= 0 {
+		bytes = 64 * 1024
+	}
+	seeds := opt.Seeds
+	nPol := len(placementPolicies)
+	cache := opt.tableCache()
+	// slows[k][s] and frags[k][s]: policy k, seed s; variable-length
+	// per cell, concatenated in (policy, seed, event) order after the
+	// pool drains.
+	slows := make([][][]float64, nPol)
+	frags := make([][][]float64, nPol)
+	rejected := make([][]int, nPol)
+	for k := range slows {
+		slows[k] = make([][]float64, seeds)
+		frags[k] = make([][]float64, seeds)
+		rejected[k] = make([]int, seeds)
+	}
+	err = opt.run(nPol*seeds, func(idx int) error {
+		k, s := idx/seeds, idx%seeds
+		policy, err := sched.PolicyByName(placementPolicies[k])
+		if err != nil {
+			return err
+		}
+		f, err := fabric.New(fabric.Config{
+			Topo:      tp,
+			Algo:      core.NewDModK(tp),
+			Cache:     cache,
+			Telemetry: true,
+		})
+		if err != nil {
+			return err
+		}
+		sc, err := sched.New(sched.Config{Fabric: f, Policy: policy, Seed: uint64(s) + 1})
+		if err != nil {
+			return err
+		}
+		schedule, err := placementSchedule(uint64(s)+1, bytes)
+		if err != nil {
+			return err
+		}
+		type active struct {
+			id     uint64
+			depart int64
+		}
+		var running []active
+		for _, ev := range schedule {
+			// Departures due before this arrival, in (depart, id) order.
+			sort.Slice(running, func(i, j int) bool {
+				if running[i].depart != running[j].depart {
+					return running[i].depart < running[j].depart
+				}
+				return running[i].id < running[j].id
+			})
+			for len(running) > 0 && running[0].depart <= ev.arrive {
+				if err := sc.Release(running[0].id); err != nil {
+					return err
+				}
+				running = running[1:]
+				sc.SyncTelemetry()
+			}
+			job, err := sc.Submit(ev.spec)
+			if errors.Is(err, sched.ErrNoCapacity) {
+				rejected[k][s]++
+				frags[k][s] = append(frags[k][s], sc.Snapshot().Fragmentation)
+				continue
+			}
+			if err != nil {
+				return err
+			}
+			running = append(running, active{id: job.ID, depart: ev.depart})
+			sc.SyncTelemetry()
+			slow, err := perJobSlowdown(tp, f.Generation(), sc.TenantPattern(), job.LeafPattern())
+			if err != nil {
+				return err
+			}
+			slows[k][s] = append(slows[k][s], slow)
+			frags[k][s] = append(frags[k][s], sc.Snapshot().Fragmentation)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]PlacementRow, nPol)
+	for k := range rows {
+		var allSlow, allFrag []float64
+		rej := 0
+		for s := 0; s < seeds; s++ {
+			allSlow = append(allSlow, slows[k][s]...)
+			allFrag = append(allFrag, frags[k][s]...)
+			rej += rejected[k][s]
+		}
+		rows[k] = PlacementRow{
+			Policy:   placementPolicies[k],
+			Placed:   len(allSlow),
+			Rejected: rej,
+			PerJob:   stats.Summarize(allSlow),
+			Frag:     stats.Summarize(allFrag),
+		}
+	}
+	return rows, nil
+}
+
+// WritePlacementSweep renders the placement churn sweep.
+func WritePlacementSweep(w io.Writer, rows []PlacementRow) {
+	fmt.Fprintln(w, "Placement churn — XGFT(2;16,16;1,10), d-mod-k fabric, WRF/CG/permutation job mix")
+	fmt.Fprintf(w, "%-10s %6s %8s  %-30s %-22s\n",
+		"policy", "jobs", "rejected", "per-job slowdown [med]", "fragmentation [mean]")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-10s %6d %8d  med=%-5.2f q3=%-5.2f (%.2f-%.2f)  mean=%.2f max=%.2f\n",
+			r.Policy, r.Placed, r.Rejected,
+			r.PerJob.Median, r.PerJob.Q3, r.PerJob.Min, r.PerJob.Max,
+			r.Frag.Mean, r.Frag.Max)
+	}
+}

@@ -88,6 +88,28 @@ func TestTelemetryRecordsResolves(t *testing.T) {
 	}
 }
 
+func TestTelemetryRecordN(t *testing.T) {
+	tp := xgft.MustNew(2, []int{8, 8}, []int{1, 8})
+	f := telemetryFabric(t, tp, core.NewDModK(tp))
+	tel := f.Telemetry()
+	tel.RecordN(0, 9, 750)
+	tel.RecordN(0, 9, 250)
+	tel.RecordN(1, 1, 5)   // self pair: ignored
+	tel.RecordN(-1, 2, 5)  // out of range: ignored
+	tel.RecordN(2, 999, 5) // out of range: ignored
+	tel.RecordN(3, 4, 0)   // zero weight: ignored
+	if c := tel.Count(0, 9); c != 1000 {
+		t.Errorf("count(0,9) = %d, want 1000", c)
+	}
+	if got := tel.Total(); got != 1000 {
+		t.Errorf("total = %d, want 1000", got)
+	}
+	obs := f.SnapshotFlows()
+	if len(obs.Flows) != 1 || obs.Flows[0] != (pattern.Flow{Src: 0, Dst: 9, Bytes: 1000}) {
+		t.Errorf("snapshot %v, want one (0,9,1000) flow", obs.Flows)
+	}
+}
+
 func TestTelemetryDisabled(t *testing.T) {
 	tp := xgft.MustNew(2, []int{4, 4}, []int{1, 4})
 	f, err := New(Config{Topo: tp, Algo: core.NewDModK(tp)})

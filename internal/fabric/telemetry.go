@@ -50,6 +50,18 @@ func (t *Telemetry) Record(src, dst int) {
 	t.record(src, dst)
 }
 
+// RecordN counts n served routes for the pair at once; out-of-range
+// and self pairs are ignored. It lets a scheduler or replayer inject
+// a whole traffic profile (flow weights and all) into the counters,
+// so an optimizer pass can run over declared rather than accumulated
+// traffic.
+func (t *Telemetry) RecordN(src, dst int, n uint64) {
+	if src < 0 || src >= t.n || dst < 0 || dst >= t.n || src == dst || n == 0 {
+		return
+	}
+	atomic.AddUint64(&t.rows[src][dst], n)
+}
+
 // Leaves returns the endpoint count the counters cover.
 func (t *Telemetry) Leaves() int { return t.n }
 

@@ -22,7 +22,11 @@
 //     with hot-swappable generations, link/switch-failure handling,
 //     incremental table patching, and a telemetry-driven optimizer
 //     that re-fits the serving table to the observed traffic
-//     (cmd/fabricd is the daemon).
+//     (cmd/fabricd is the daemon),
+//   - the multi-tenant job scheduler: fragmentation-aware placement
+//     of jobs (size + traffic profile) onto the fabric's leaf pool
+//     via pluggable policies, with placement-triggered
+//     re-optimization over the combined tenant pattern.
 //
 // Quick start:
 //
@@ -39,6 +43,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/fabric"
 	"repro/internal/pattern"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/traces"
 	"repro/internal/venus"
@@ -160,6 +165,28 @@ type OptimizeConfig = fabric.OptimizeConfig
 // pattern, every candidate's analytic slowdown, and the swap outcome.
 type OptimizeResult = fabric.OptimizeResult
 
+// Scheduler is the multi-tenant job scheduler: it owns a fabric's
+// leaf pool and places jobs via pluggable policies (see
+// internal/sched and the fabricd job endpoints).
+type Scheduler = sched.Scheduler
+
+// SchedulerConfig parameterizes NewScheduler.
+type SchedulerConfig = sched.Config
+
+// JobSpec describes a job submission: a size plus a traffic profile.
+type JobSpec = sched.JobSpec
+
+// Job is a placed job (allocation, rank -> leaf mapping, remapped
+// traffic).
+type Job = sched.Job
+
+// SchedulerSnapshot is the scheduler's pool census: active jobs plus
+// free-block fragmentation figures.
+type SchedulerSnapshot = sched.Snapshot
+
+// PlacementPolicy chooses leaves for a job.
+type PlacementPolicy = sched.Policy
+
 // Routing algorithm constructors.
 var (
 	// NewSModK is the classic source-mod-k self-routing scheme.
@@ -223,6 +250,28 @@ var (
 	PatchRoutingTable = core.PatchTable
 	// NewFabric compiles a scheme into a serving fabric (generation 0).
 	NewFabric = fabric.New
+)
+
+// Multi-tenant scheduling: placement policies over the fabric's leaf
+// pool, allocation-aware pattern remapping, and the churn sweep.
+var (
+	// NewScheduler builds a scheduler owning a fabric's leaf pool.
+	NewScheduler = sched.New
+	// LinearPlacement, RandomPlacement, BalancedPlacement and
+	// TelemetryPlacement construct the placement policies.
+	LinearPlacement    = sched.Linear
+	RandomPlacement    = sched.Random
+	BalancedPlacement  = sched.Balanced
+	TelemetryPlacement = sched.Telemetry
+	// PlacementPolicyByName resolves a policy by its command-line
+	// name; PlacementPolicyNames lists them.
+	PlacementPolicyByName = sched.PolicyByName
+	PlacementPolicyNames  = sched.PolicyNames
+	// RemapPattern lifts a rank-space pattern onto a placement.
+	RemapPattern = sched.RemapPattern
+	// MappingFromLeaves places rank r on leaves[r] (the replay-side
+	// counterpart of a scheduler allocation).
+	MappingFromLeaves = dimemas.MappingFromLeaves
 )
 
 // Pattern constructors.
@@ -325,15 +374,17 @@ var (
 	Figure4 = experiments.Figure4
 	Figure5 = experiments.Figure5
 	Table1  = experiments.Table1
-	// DeepTreeSweep, BalanceAblation, FaultSweep and ShiftSweep are
-	// the extension studies (three-level XGFT generalization,
-	// balanced-map ablation, degraded-topology robustness, and the
-	// shifting-traffic comparison of static d-mod-k against the
-	// telemetry-driven re-optimizing fabric).
+	// DeepTreeSweep, BalanceAblation, FaultSweep, ShiftSweep and
+	// PlacementSweep are the extension studies (three-level XGFT
+	// generalization, balanced-map ablation, degraded-topology
+	// robustness, the shifting-traffic comparison of static d-mod-k
+	// against the telemetry-driven re-optimizing fabric, and the
+	// multi-tenant placement churn comparison of scheduler policies).
 	DeepTreeSweep   = experiments.DeepTreeSweep
 	BalanceAblation = experiments.BalanceAblation
 	FaultSweep      = experiments.FaultSweep
 	ShiftSweep      = experiments.ShiftSweep
+	PlacementSweep  = experiments.PlacementSweep
 	// Summarize computes boxplot statistics.
 	Summarize = stats.Summarize
 )
