@@ -29,13 +29,16 @@ func TestCLISmoke(t *testing.T) {
 		{"experiments", []string{"-table1"}},
 		{"experiments", []string{"-shift", "-seeds", "2"}},
 		{"experiments", []string{"-placement", "-seeds", "2"}},
+		{"experiments", []string{"-fidelity", "-bytes", "2048"}},
 		{"fabricd", []string{"-demo", "-xgft", "2;8,8;1,8"}},
 		{"fabricd", []string{"-demo", "-xgft", "2;8,8;1,4", "-sched", "telemetry"}},
+		{"fabricd", []string{"-demo", "-xgft", "2;8,8;1,4", "-evaluator", "venus"}},
 		{"subnetmgr", nil},
 		{"routegen", []string{"-xgft", "2;8,8;1,8", "-algo", "r-NCA-d", "-pattern", "shift:1"}},
 		{"routegen", []string{"-xgft", "2;8,8;1,8", "-pattern", "random-perm", "-seed", "3"}},
 		{"xgftgen", []string{"-xgft", "2;4,4;1,4"}},
 		{"xgftsim", []string{"-xgft", "2;16,8;1,8", "-algo", "d-mod-k", "-app", "cg", "-engine", "analytic"}},
+		{"xgftsim", []string{"-xgft", "2;16,8;1,4", "-algo", "r-NCA-u", "-app", "cg", "-engine", "venus", "-bytes", "2048"}},
 	}
 	for _, c := range cases {
 		c := c
@@ -53,14 +56,15 @@ func TestCLISmoke(t *testing.T) {
 		})
 	}
 
-	// Parallelism-invariance ride-along for the placement sweep: the
-	// sweep table is byte-identical between -parallel=1 and
-	// -parallel=8 (only the wall-clock footer may differ).
-	runPlacement := func(par string) string {
+	// Parallelism-invariance ride-alongs: each sweep's table must be
+	// byte-identical between -parallel=1 and -parallel=8 (only the
+	// wall-clock footer may differ). The fidelity sweep is the hard
+	// acceptance bar for the evaluation layer's determinism.
+	runSweep := func(par string, args ...string) string {
 		out, err := exec.Command(filepath.Join(bin, "experiments"),
-			"-placement", "-seeds", "2", "-parallel", par).Output()
+			append(args, "-parallel", par)...).Output()
 		if err != nil {
-			t.Fatalf("experiments -placement -parallel=%s: %v", par, err)
+			t.Fatalf("experiments %v -parallel=%s: %v", args, par, err)
 		}
 		var kept []string
 		for _, line := range strings.Split(string(out), "\n") {
@@ -71,8 +75,13 @@ func TestCLISmoke(t *testing.T) {
 		}
 		return strings.Join(kept, "\n")
 	}
-	if a, b := runPlacement("1"), runPlacement("8"); a != b {
-		t.Fatalf("placement sweep differs across -parallel:\n%s\nvs\n%s", a, b)
+	for _, args := range [][]string{
+		{"-placement", "-seeds", "2"},
+		{"-fidelity", "-bytes", "2048"},
+	} {
+		if a, b := runSweep("1", args...), runSweep("8", args...); a != b {
+			t.Fatalf("%v differs across -parallel:\n%s\nvs\n%s", args, a, b)
+		}
 	}
 
 	// Determinism ride-along for the keyed CLI randomness: the same

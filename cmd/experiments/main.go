@@ -9,6 +9,7 @@
 //	experiments -faults             degraded-topology sweep (failed links)
 //	experiments -shift              shifting-traffic sweep (online re-optimization)
 //	experiments -placement          multi-tenant placement churn sweep
+//	experiments -fidelity           analytic bound vs venus simulation (rank agreement)
 //	experiments -all                everything above
 //
 // By default the fast analytic engine is used; -engine simulated runs
@@ -47,6 +48,7 @@ func main() {
 		faults   = flag.Bool("faults", false, "extension: degraded-topology sweep (failed top-level links)")
 		shift    = flag.Bool("shift", false, "extension: shifting-traffic sweep (static d-mod-k vs online re-optimization)")
 		place    = flag.Bool("placement", false, "extension: multi-tenant placement churn sweep (scheduler policies)")
+		fidelity = flag.Bool("fidelity", false, "extension: analytic bound vs venus simulation fidelity sweep")
 		ablate   = flag.Bool("ablation", false, "ablation: balanced vs uniform relabeling")
 		adaptive = flag.Bool("adaptive", false, "extension: adaptive vs oblivious routing")
 		engine   = flag.String("engine", "analytic", "analytic or simulated")
@@ -241,6 +243,22 @@ func main() {
 				fail(err)
 			}
 			experiments.WritePlacementSweep(os.Stdout, rows)
+			done()
+		}
+	}
+	if *all || *fidelity {
+		if opt.Engine == experiments.Simulated && !*fidelity {
+			// The sweep pairs its own analytic and venus backends;
+			// during -all with a simulated engine, skip it visibly.
+			fmt.Println("=== Extension — analytic vs simulation fidelity — skipped (manages its own backends) ===")
+			fmt.Println()
+		} else {
+			done := section("Extension — analytic vs simulation fidelity")
+			rows, err := experiments.FidelitySweep(opt)
+			if err != nil {
+				fail(err)
+			}
+			experiments.WriteFidelitySweep(os.Stdout, rows)
 			done()
 		}
 	}

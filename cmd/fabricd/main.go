@@ -12,7 +12,14 @@
 //	fabricd -xgft "2;16,16;1,16" -algo r-NCA-u -seed 7 -addr :7420
 //	fabricd -xgft "2;16,16;1,10" -reoptimize 30s -threshold 0.05
 //	fabricd -xgft "2;16,16;1,10" -sched balanced
+//	fabricd -xgft "2;8,8;1,8" -evaluator venus -demo
 //	fabricd -demo
+//
+// The -evaluator flag selects the scoring backend (internal/evaluate:
+// analytic, grouped or venus) the optimizer and the telemetry
+// placement policy judge routing quality with; backends are wrapped
+// in a memoizing CachedEvaluator, so repeated passes over a stable
+// observed pattern are free.
 //
 // The daemon also runs the multi-tenant job scheduler
 // (internal/sched): it owns the leaf pool, places submitted jobs with
@@ -60,6 +67,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/evaluate"
 	"repro/internal/fabric"
 	"repro/internal/hashutil"
 	"repro/internal/pattern"
@@ -77,11 +85,12 @@ func main() {
 		reopt     = flag.Duration("reoptimize", 0, "periodic re-optimization interval (0 = only on POST /optimize)")
 		threshold = flag.Float64("threshold", 0.05, "minimum relative slowdown improvement required to swap tables")
 		policy    = flag.String("sched", "linear", "job placement policy: "+strings.Join(sched.PolicyNames(), ", "))
+		backend   = flag.String("evaluator", "analytic", "routing-quality scoring backend: "+strings.Join(evaluate.Names(), ", "))
 		demo      = flag.Bool("demo", false, "run a scripted failure/heal/re-optimize/schedule cycle and exit (no server)")
 	)
 	flag.Parse()
 
-	f, s, err := build(*spec, *algo, *policy, *seed, *telemetry || *demo)
+	f, s, err := build(*spec, *algo, *policy, *backend, *seed, *telemetry || *demo)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fabricd:", err)
 		os.Exit(2)
@@ -107,7 +116,7 @@ func main() {
 	}
 }
 
-func build(spec, algoName, policyName string, seed uint64, telemetry bool) (*fabric.Fabric, *sched.Scheduler, error) {
+func build(spec, algoName, policyName, evalName string, seed uint64, telemetry bool) (*fabric.Fabric, *sched.Scheduler, error) {
 	tp, err := xgft.Parse(spec)
 	if err != nil {
 		return nil, nil, err
@@ -120,7 +129,22 @@ func build(spec, algoName, policyName string, seed uint64, telemetry bool) (*fab
 	if err != nil {
 		return nil, nil, err
 	}
-	f, err := fabric.New(fabric.Config{Topo: tp, Algo: algo, Telemetry: telemetry})
+	// The fabric, the optimizer's candidate builds and the evaluator
+	// share one table cache; the chosen backend is wrapped in a
+	// memoizing CachedEvaluator so re-optimization rounds over a
+	// stable observed pattern never re-score.
+	cache := core.NewTableCache(16)
+	backend, err := evaluate.New(evalName, evaluate.Options{Cache: cache})
+	if err != nil {
+		return nil, nil, err
+	}
+	f, err := fabric.New(fabric.Config{
+		Topo:      tp,
+		Algo:      algo,
+		Cache:     cache,
+		Telemetry: telemetry,
+		Evaluator: evaluate.NewCached(backend, 256),
+	})
 	if err != nil {
 		return nil, nil, err
 	}
@@ -603,7 +627,7 @@ func runDemo(f *fabric.Fabric, s *sched.Scheduler, threshold float64) error {
 		return err
 	}
 	for _, c := range res.Candidates {
-		fmt.Printf("  candidate %-9s analytic slowdown %.3f\n", c.Algo, c.Slowdown)
+		fmt.Printf("  candidate %-9s %s slowdown %.3f\n", c.Algo, f.Evaluator().Name(), c.Slowdown)
 	}
 	if res.Swapped {
 		fmt.Printf("re-optimized: %s (%.3f) -> %s (%.3f)\n", st.Algo, res.Current, res.Best, res.BestSlowdown)

@@ -13,7 +13,7 @@ import (
 
 func testMux(t *testing.T, spec string) *http.ServeMux {
 	t.Helper()
-	f, s, err := build(spec, "d-mod-k", "balanced", 1, true)
+	f, s, err := build(spec, "d-mod-k", "balanced", "analytic", 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -162,7 +162,7 @@ func TestOptimizeHandler(t *testing.T) {
 }
 
 func TestOptimizeHandlerWithoutTelemetry(t *testing.T) {
-	f, s, err := build("2;4,4;1,4", "d-mod-k", "linear", 1, false)
+	f, s, err := build("2;4,4;1,4", "d-mod-k", "linear", "analytic", 1, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -269,7 +269,7 @@ func TestJobSubmitRejectsBadRequests(t *testing.T) {
 // resolver floods ResolveBatch (run with -race): scheduler-driven
 // optimizer swaps must never disturb the lock-free resolve path.
 func TestJobChurnRacingResolveBatch(t *testing.T) {
-	f, s, err := build("2;8,8;1,4", "d-mod-k", "telemetry", 1, true)
+	f, s, err := build("2;8,8;1,4", "d-mod-k", "telemetry", "analytic", 1, true)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,7 +1,7 @@
 package core
 
 import (
-	"math/rand"
+	"repro/internal/hashutil"
 	"testing"
 	"testing/quick"
 
@@ -477,7 +477,7 @@ func TestNewByName(t *testing.T) {
 
 func TestQuickAllAlgorithmsConnectRandomTopologies(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := hashutil.NewStream(uint64(seed))
 		h := 1 + rng.Intn(3)
 		m := make([]int, h)
 		w := make([]int, h)

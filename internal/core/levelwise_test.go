@@ -1,7 +1,7 @@
 package core
 
 import (
-	"math/rand"
+	"repro/internal/hashutil"
 	"testing"
 	"testing/quick"
 
@@ -101,7 +101,7 @@ func assertProperColoring(t *testing.T, nL, nR int, edges [][2]int, cols []int, 
 
 func TestQuickEdgeColoringRandomBipartite(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := hashutil.NewStream(uint64(seed))
 		n := 2 + rng.Intn(12)
 		colors := 1 + rng.Intn(6)
 		// Build a multigraph with max degree <= colors.
@@ -253,7 +253,7 @@ func TestLevelWiseAtLeastAsGoodAsColored(t *testing.T) {
 
 func TestQuickLevelWiseRandomTopologiesAndPermutations(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := hashutil.NewStream(uint64(seed))
 		k := 2 + rng.Intn(3)
 		n := 2 + rng.Intn(2)
 		tp, err := xgft.NewKaryNTree(k, n)

@@ -1,0 +1,71 @@
+package evaluate
+
+import (
+	"fmt"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/xgft"
+)
+
+// analytic scores with the congestion completion bound of
+// internal/contention normalized against the ideal full crossbar —
+// the paper's §VI-B analytic model. Phase times add (bounds are summed
+// before normalizing), exactly as contention.PhasedSlowdown does, so
+// scores are bit-identical to the pre-Evaluator call sites.
+type analytic struct {
+	cache *core.TableCache
+}
+
+// NewAnalytic returns the analytic-bound backend. Routing tables are
+// served from the cache when the algorithm is memoizable; a nil cache
+// recomputes.
+func NewAnalytic(cache *core.TableCache) Evaluator { return &analytic{cache: cache} }
+
+func (*analytic) Name() string { return Analytic }
+
+func (a *analytic) Score(t *xgft.Topology, algo core.Algorithm, phases []*pattern.Pattern) (Result, error) {
+	if len(phases) == 0 {
+		return Result{}, fmt.Errorf("evaluate: no phases")
+	}
+	res := Result{PerPhase: make([]float64, len(phases))}
+	var network, crossbar int64
+	for i, p := range phases {
+		tbl, err := a.cache.Build(t, algo, p)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Cost.Tables++
+		an, err := contention.Analyze(t, p, tbl.Routes)
+		if err != nil {
+			return Result{}, err
+		}
+		bound, xb := an.CompletionBound(), contention.CrossbarBound(p)
+		network += bound
+		crossbar += xb
+		res.PerPhase[i] = ratio(bound, xb)
+	}
+	res.Slowdown = ratio(network, crossbar)
+	return res, nil
+}
+
+func (a *analytic) ScoreRoutes(t *xgft.Topology, p *pattern.Pattern, routes []xgft.Route) (Result, error) {
+	an, err := contention.Analyze(t, p, routes)
+	if err != nil {
+		return Result{}, err
+	}
+	bound, xb := an.CompletionBound(), contention.CrossbarBound(p)
+	s := ratio(bound, xb)
+	return Result{Slowdown: s, PerPhase: []float64{s}}, nil
+}
+
+// ratio normalizes a completion measure against its crossbar
+// reference; a pattern without network traffic scores 1. Dependent
+// phases sum their measures before normalizing (times add).
+func ratio(network, crossbar int64) float64 {
+	if crossbar == 0 {
+		return 1
+	}
+	return float64(network) / float64(crossbar)
+}

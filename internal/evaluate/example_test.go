@@ -1,0 +1,39 @@
+package evaluate_test
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/evaluate"
+	"repro/internal/pattern"
+	"repro/internal/xgft"
+)
+
+// ExampleNew scores one routing scheme on one pattern under two
+// backends: the analytic congestion bound the system steers by, and
+// the flit-level venus simulation it approximates. Wrapping a backend
+// in NewCached makes repeated scoring (sweeps, re-optimization
+// rounds) free.
+func ExampleNew() {
+	tree, _ := xgft.NewSlimmedTree(8, 8, 4)
+	algo := core.NewDModK(tree)
+	bitrev, _ := pattern.BitReversal(tree.Leaves(), 64*1024)
+	phases := []*pattern.Pattern{bitrev}
+
+	cache := core.NewTableCache(16)
+	for _, name := range []string{evaluate.Analytic, evaluate.Venus} {
+		ev, err := evaluate.New(name, evaluate.Options{Cache: cache})
+		if err != nil {
+			panic(err)
+		}
+		cached := evaluate.NewCached(ev, 128)
+		res, err := cached.Score(tree, algo, phases)
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("%-8s slowdown %.2f\n", cached.Name(), res.Slowdown)
+	}
+	// Output:
+	// analytic slowdown 7.00
+	// venus    slowdown 6.95
+}

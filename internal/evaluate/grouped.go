@@ -1,0 +1,90 @@
+package evaluate
+
+import (
+	"fmt"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/xgft"
+)
+
+// grouped scores with the §IV grouped-contention metric: flows that
+// share an injection or ejection endpoint are serialized there anyway,
+// so only distinct endpoint groups meeting on a channel represent
+// contention the routing is responsible for. A phase's score is the
+// largest group count over all channels (1 = routed without blocking);
+// phases aggregate by their crossbar-bound weights, mirroring how
+// dependent phase times add in the analytic model.
+type grouped struct {
+	cache *core.TableCache
+}
+
+// NewGrouped returns the grouped-contention backend. Routing tables
+// are served from the cache when the algorithm is memoizable; a nil
+// cache recomputes.
+func NewGrouped(cache *core.TableCache) Evaluator { return &grouped{cache: cache} }
+
+func (*grouped) Name() string { return Grouped }
+
+func (g *grouped) Score(t *xgft.Topology, algo core.Algorithm, phases []*pattern.Pattern) (Result, error) {
+	if len(phases) == 0 {
+		return Result{}, fmt.Errorf("evaluate: no phases")
+	}
+	res := Result{PerPhase: make([]float64, len(phases))}
+	var weighted, weight float64
+	for i, p := range phases {
+		tbl, err := g.cache.Build(t, algo, p)
+		if err != nil {
+			return Result{}, err
+		}
+		res.Cost.Tables++
+		level, err := groupLevel(t, p, tbl.Routes)
+		if err != nil {
+			return Result{}, err
+		}
+		res.PerPhase[i] = level
+		w := float64(contention.CrossbarBound(p))
+		weighted += level * w
+		weight += w
+	}
+	res.Slowdown = weightedMean(res.PerPhase, weighted, weight)
+	return res, nil
+}
+
+func (g *grouped) ScoreRoutes(t *xgft.Topology, p *pattern.Pattern, routes []xgft.Route) (Result, error) {
+	level, err := groupLevel(t, p, routes)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{Slowdown: level, PerPhase: []float64{level}}, nil
+}
+
+// groupLevel computes one phase's grouped-contention level: the
+// maximum over channels of the number of distinct endpoint groups
+// sharing it, floored at 1 so contention-free (or traffic-free)
+// phases score like the other backends' ideal.
+func groupLevel(t *xgft.Topology, p *pattern.Pattern, routes []xgft.Route) (float64, error) {
+	a, err := contention.Analyze(t, p, routes)
+	if err != nil {
+		return 0, err
+	}
+	c := a.MaxNetworkContention()
+	if c < 1 {
+		c = 1
+	}
+	return float64(c), nil
+}
+
+// weightedMean aggregates per-phase levels by crossbar weight, falling
+// back to the plain mean when no phase carries network traffic.
+func weightedMean(perPhase []float64, weighted, weight float64) float64 {
+	if weight > 0 {
+		return weighted / weight
+	}
+	var sum float64
+	for _, v := range perPhase {
+		sum += v
+	}
+	return sum / float64(len(perPhase))
+}

@@ -1,10 +1,11 @@
 package eventq
 
 import (
-	"math/rand"
 	"sort"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/hashutil"
 )
 
 func TestOrdering(t *testing.T) {
@@ -123,7 +124,7 @@ func TestEmptyQueue(t *testing.T) {
 
 func TestQuickHeapProperty(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := hashutil.NewStream(uint64(seed))
 		var q Queue
 		n := 1 + rng.Intn(200)
 		want := make([]Time, n)

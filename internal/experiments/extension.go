@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/pattern"
 	"repro/internal/stats"
@@ -91,11 +90,11 @@ func DeepTreeSweep(opt Options) ([]DeepRow, error) {
 		k, seed := c/seeds, c%seeds
 		tp := topos[i]
 		algo := deepSchemes[k](tp, uint64(seed)+1)
-		s, err := contention.SlowdownCached(opt.tableCache(), tp, algo, perms[i][seed])
+		res, err := opt.evaluator().Score(tp, algo, []*pattern.Pattern{perms[i][seed]})
 		if err != nil {
 			return err
 		}
-		values[i][k][seed] = s
+		values[i][k][seed] = res.Slowdown
 		return nil
 	})
 	if err != nil {
@@ -186,11 +185,11 @@ func BalanceAblation(w2 int, opt Options) (*AblationRow, error) {
 			spreads[v][seed] = float64(max - min)
 			return nil
 		}
-		s, err := contention.PhasedSlowdownCached(opt.tableCache(), tp, algo, phases)
+		res, err := opt.evaluator().Score(tp, algo, phases)
 		if err != nil {
 			return err
 		}
-		slowdowns[v][seed] = s
+		slowdowns[v][seed] = res.Slowdown
 		return nil
 	})
 	if err != nil {

@@ -1,0 +1,75 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestFidelitySweepRankAgreement(t *testing.T) {
+	rows, err := FidelitySweep(Options{MessageBytes: 8192, Cache: core.NewTableCache(64)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("got %d schedules, want 3", len(rows))
+	}
+	agreed := 0
+	for _, r := range rows {
+		if len(r.Cells) != len(fidelitySchemes) {
+			t.Fatalf("%s: %d cells for %d schemes", r.Schedule, len(r.Cells), len(fidelitySchemes))
+		}
+		for _, c := range r.Cells {
+			if c.Analytic < 1 || c.Venus <= 0 {
+				t.Errorf("%s/%s: implausible scores analytic=%v venus=%v", r.Schedule, c.Scheme, c.Analytic, c.Venus)
+			}
+			if c.RelErr > 0.5 {
+				t.Errorf("%s/%s: relative error %.2f implausibly large", r.Schedule, c.Scheme, c.RelErr)
+			}
+		}
+		if r.Agree {
+			agreed++
+		}
+	}
+	// The whole system steers by the analytic bound; it must predict
+	// the simulated winner on at least 2 of the 3 schedules.
+	if agreed < 2 {
+		t.Errorf("analytic and venus agree on only %d/3 schedules: %+v", agreed, rows)
+	}
+}
+
+func TestFidelitySweepParallelInvariance(t *testing.T) {
+	run := func(par int) []FidelityRow {
+		rows, err := FidelitySweep(Options{
+			MessageBytes: 4096,
+			Parallelism:  par,
+			Cache:        core.NewTableCache(64),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rows
+	}
+	seq, par := run(1), run(8)
+	if !reflect.DeepEqual(seq, par) {
+		t.Errorf("fidelity rows differ across parallelism:\n%+v\nvs\n%+v", seq, par)
+	}
+	var a, b bytes.Buffer
+	WriteFidelitySweep(&a, seq)
+	WriteFidelitySweep(&b, par)
+	if a.String() != b.String() {
+		t.Errorf("rendered fidelity tables differ across parallelism")
+	}
+	if !strings.Contains(a.String(), "rank agreement:") {
+		t.Errorf("rendered table missing the rank-agreement footer:\n%s", a.String())
+	}
+}
+
+func TestFidelitySweepRejectsSimulatedEngine(t *testing.T) {
+	if _, err := FidelitySweep(Options{Engine: Simulated}); err == nil {
+		t.Error("Simulated engine accepted")
+	}
+}

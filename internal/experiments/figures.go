@@ -6,6 +6,7 @@ import (
 	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/dimemas"
+	"repro/internal/evaluate"
 	"repro/internal/pattern"
 	"repro/internal/stats"
 	"repro/internal/traces"
@@ -52,6 +53,13 @@ type Options struct {
 	// process-wide shared cache; a zero-capacity cache
 	// (core.NewTableCache(0)) disables memoization entirely.
 	Cache *core.TableCache
+	// Evaluator overrides the scoring backend for pattern-level
+	// sweeps: nil selects the analytic congestion bound over the
+	// options' cache (the historical behavior, bit-identical). Any
+	// evaluate.Evaluator — grouped, venus, a CachedEvaluator, a test
+	// double — slots in; the Simulated engine's trace-replay pipeline
+	// is still selected by Engine, not here.
+	Evaluator evaluate.Evaluator
 }
 
 func (o Options) withDefaults() Options {
@@ -73,13 +81,18 @@ func (o Options) withDefaults() Options {
 }
 
 // phasedSlowdown evaluates one (topology, algorithm) cell over the
-// app's communication phases. Analytic cells share routing tables
-// through the options' cache; simulated cells build their own
-// simulator instances, so workers never share mutable state.
+// app's communication phases. Analytic-engine cells score through the
+// options' evaluator (routing tables shared through the cache);
+// simulated cells build their own simulator instances, so workers
+// never share mutable state.
 func phasedSlowdown(tp *xgft.Topology, algo core.Algorithm, ranks int, phases []*pattern.Pattern, opt Options) (float64, error) {
 	switch opt.Engine {
 	case Analytic:
-		return contention.PhasedSlowdownCached(opt.tableCache(), tp, algo, phases)
+		res, err := opt.evaluator().Score(tp, algo, phases)
+		if err != nil {
+			return 0, err
+		}
+		return res.Slowdown, nil
 	case Simulated:
 		tr, err := traces.FromPhases(ranks, phases, 1, 0)
 		if err != nil {

@@ -217,6 +217,7 @@ func PlacementSweep(opt Options) ([]PlacementRow, error) {
 			Algo:      core.NewDModK(tp),
 			Cache:     cache,
 			Telemetry: true,
+			Evaluator: opt.evaluator(),
 		})
 		if err != nil {
 			return err

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/evaluate"
 )
 
 // This file is the concurrent sweep engine: every figure and table
@@ -38,6 +39,15 @@ func (o Options) tableCache() *core.TableCache {
 		return o.Cache
 	}
 	return sharedTableCache
+}
+
+// evaluator resolves the scoring backend pattern-level sweeps use:
+// the injected one, or the analytic bound over the options' cache.
+func (o Options) evaluator() evaluate.Evaluator {
+	if o.Evaluator != nil {
+		return o.Evaluator
+	}
+	return evaluate.NewAnalytic(o.tableCache())
 }
 
 // runCells executes fn(0..n-1) on a pool of the given width, invoking

@@ -5,7 +5,6 @@ import (
 	"io"
 	"sort"
 
-	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/hashutil"
@@ -73,8 +72,10 @@ type ShiftRow struct {
 // lets the optimizer re-fit after each phase, and measures both
 // fabrics on the phase pattern. Routing tables and Colored optimizer
 // instances are shared across cells through the options' cache;
-// results are byte-identical for any Parallelism. The sweep is
-// analytic-only, like the degraded-topology sweep.
+// results are byte-identical for any Parallelism. Measurement and
+// optimization both go through the options' evaluator (analytic by
+// default); the Simulated trace-replay engine is rejected, like in
+// the degraded-topology sweep.
 func ShiftSweep(opt Options) ([]ShiftRow, error) {
 	if opt.Seeds <= 0 {
 		opt.Seeds = 10
@@ -117,12 +118,14 @@ func ShiftSweep(opt Options) ([]ShiftRow, error) {
 		chosen[pi] = make([]string, seeds)
 	}
 	cache := opt.tableCache()
+	eval := opt.evaluator()
 	err = opt.run(seeds, func(s int) error {
 		f, err := fabric.New(fabric.Config{
 			Topo:      tp,
 			Algo:      core.NewDModK(tp),
 			Cache:     cache,
 			Telemetry: true,
+			Evaluator: eval,
 		})
 		if err != nil {
 			return err
@@ -146,11 +149,11 @@ func ShiftSweep(opt Options) ([]ShiftRow, error) {
 			swapped[pi][s] = res.Swapped
 			chosen[pi][s] = f.Stats().Algo
 			// Static baseline on the phase pattern (cache-served).
-			st, err := contention.SlowdownCached(cache, tp, core.NewDModK(tp), p)
+			st, err := eval.Score(tp, core.NewDModK(tp), []*pattern.Pattern{p})
 			if err != nil {
 				return err
 			}
-			staticV[pi][s] = st
+			staticV[pi][s] = st.Slowdown
 			// Online fabric measured on the same pattern. Resolution
 			// goes through the pinned generation so measurement
 			// traffic does not leak into the next phase's telemetry.
@@ -163,11 +166,11 @@ func ShiftSweep(opt Options) ([]ShiftRow, error) {
 				}
 				routes[i] = r
 			}
-			on, err := contention.SlowdownRoutes(tp, p, routes)
+			on, err := eval.ScoreRoutes(tp, p, routes)
 			if err != nil {
 				return err
 			}
-			onlineV[pi][s] = on
+			onlineV[pi][s] = on.Slowdown
 		}
 		return nil
 	})

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/contention"
 	"repro/internal/core"
+	"repro/internal/evaluate"
 	"repro/internal/pattern"
 	"repro/internal/xgft"
 )
@@ -45,6 +46,13 @@ type Config struct {
 	// them the Optimize re-optimization loop. Disabled fabrics reject
 	// Optimize.
 	Telemetry bool
+	// Evaluator scores the current generation and the candidate
+	// tables during Optimize passes. nil selects the analytic
+	// congestion bound over the fabric's table cache (the default the
+	// whole system steers by); inject a different backend — the
+	// grouped-contention metric, the venus simulation, or a cached or
+	// test double — to change what "better table" means.
+	Evaluator evaluate.Evaluator
 }
 
 // Fabric serves routing decisions for one topology under one scheme,
@@ -56,6 +64,7 @@ type Fabric struct {
 	topo  *xgft.Topology
 	algo  core.Algorithm
 	cache *core.TableCache
+	eval  evaluate.Evaluator
 	pairs *pattern.Pattern // all-pairs probe pattern, shard fill order
 	tel   *Telemetry       // nil when telemetry is disabled
 
@@ -84,10 +93,15 @@ func New(cfg Config) (*Fabric, error) {
 	if cache == nil {
 		cache = core.NewTableCache(8)
 	}
+	eval := cfg.Evaluator
+	if eval == nil {
+		eval = evaluate.NewAnalytic(cache)
+	}
 	f := &Fabric{
 		topo:  cfg.Topo,
 		algo:  cfg.Algo,
 		cache: cache,
+		eval:  eval,
 		pairs: pattern.AllToAll(cfg.Topo.Leaves(), 1),
 	}
 	if cfg.Telemetry {
@@ -112,6 +126,10 @@ func (f *Fabric) Stats() Stats { return f.gen.Load().Stats() }
 
 // Telemetry returns the fabric's flow counters, nil when disabled.
 func (f *Fabric) Telemetry() *Telemetry { return f.tel }
+
+// Evaluator returns the scoring backend Optimize passes use (the
+// analytic default when none was injected).
+func (f *Fabric) Evaluator() evaluate.Evaluator { return f.eval }
 
 // SnapshotFlows lowers the observed traffic into a pattern; it
 // returns nil when telemetry is disabled.

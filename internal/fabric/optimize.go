@@ -48,8 +48,8 @@ func (c OptimizeConfig) withDefaults() OptimizeConfig {
 	return c
 }
 
-// CandidateScore is one candidate table's analytic slowdown on the
-// observed pattern.
+// CandidateScore is one candidate table's slowdown (under the
+// fabric's evaluator) on the observed pattern.
 type CandidateScore struct {
 	Algo     string
 	Slowdown float64
@@ -61,9 +61,9 @@ type OptimizeResult struct {
 	// (src, dst) pairs and total recorded resolves.
 	Pairs    int
 	Resolves int64
-	// Current is the serving generation's analytic slowdown on the
-	// observed pattern (1 exactly when the pattern is contention-free
-	// under the current table).
+	// Current is the serving generation's slowdown on the observed
+	// pattern under the fabric's evaluator (1 exactly when the
+	// pattern is contention-free under the current table).
 	Current float64
 	// Candidates lists every scored candidate in scoring order.
 	Candidates []CandidateScore
@@ -91,9 +91,10 @@ func allPairsIndex(n, s, d int) int {
 // the flow counters, score the current generation and the candidate
 // schemes (d-mod-k, r-NCA-u/d, and Colored seeded with the observed
 // pattern — all served through the table cache) on the observed
-// pattern with the analytic slowdown bound, and hot-swap the best
-// candidate in if it improves on the serving table by more than the
-// threshold.
+// pattern with the fabric's evaluator (analytic slowdown bound by
+// default, any evaluate.Evaluator by injection), and hot-swap the
+// best candidate in if it improves on the serving table by more than
+// the threshold.
 //
 // The pass composes with fault handling: candidates are patched
 // through the current generation's degraded view before scoring and
@@ -130,7 +131,7 @@ func (f *Fabric) Optimize(cfg OptimizeConfig) (OptimizeResult, error) {
 	// patched through the same view with the same reroute search, so
 	// the surviving flow set — and with it the comparison — is
 	// identical across candidates.
-	current, err := scoreRoutes(f.topo, obs, func(s, d int) (xgft.Route, bool) {
+	current, err := f.scoreRoutes(obs, func(s, d int) (xgft.Route, bool) {
 		return cur.Resolve(s, d)
 	})
 	if err != nil {
@@ -145,7 +146,7 @@ func (f *Fabric) Optimize(cfg OptimizeConfig) (OptimizeResult, error) {
 			return res, fmt.Errorf("fabric: candidate %s: %w", cand.Name(), err)
 		}
 		n := f.topo.Leaves()
-		score, err := scoreRoutes(f.topo, obs, func(s, d int) (xgft.Route, bool) {
+		score, err := f.scoreRoutes(obs, func(s, d int) (xgft.Route, bool) {
 			return core.RerouteAvoiding(view, tbl.Routes[allPairsIndex(n, s, d)])
 		})
 		if err != nil {
@@ -190,10 +191,10 @@ func (f *Fabric) candidates(obs *pattern.Pattern, seed uint64) []core.Algorithm 
 	}
 }
 
-// scoreRoutes computes the analytic slowdown of the observed pattern
-// under the per-pair route function, dropping unreachable pairs from
-// both the pattern and the normalization.
-func scoreRoutes(t *xgft.Topology, obs *pattern.Pattern, route func(s, d int) (xgft.Route, bool)) (float64, error) {
+// scoreRoutes scores the observed pattern under the per-pair route
+// function with the fabric's evaluator, dropping unreachable pairs
+// from both the pattern and the normalization.
+func (f *Fabric) scoreRoutes(obs *pattern.Pattern, route func(s, d int) (xgft.Route, bool)) (float64, error) {
 	q := pattern.New(obs.N)
 	routes := make([]xgft.Route, 0, len(obs.Flows))
 	for _, fl := range obs.Flows {
@@ -204,7 +205,11 @@ func scoreRoutes(t *xgft.Topology, obs *pattern.Pattern, route func(s, d int) (x
 		q.Add(fl.Src, fl.Dst, fl.Bytes)
 		routes = append(routes, r)
 	}
-	return contention.SlowdownRoutes(t, q, routes)
+	res, err := f.eval.ScoreRoutes(f.topo, q, routes)
+	if err != nil {
+		return 0, err
+	}
+	return res.Slowdown, nil
 }
 
 // genFromTable packs a healthy all-pairs table into a generation

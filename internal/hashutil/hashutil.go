@@ -30,3 +30,39 @@ func Fold(h uint64, vals ...uint64) uint64 {
 func Mix(vals ...uint64) uint64 {
 	return Fold(0x8a5cd789635d2dff, vals...)
 }
+
+// Stream is a sequential keyed splitmix64 draw source: the drop-in
+// replacement for the rand.Rand instances tests used to build from a
+// seed, producing the same sequence on every platform and Go version
+// (math/rand makes no such guarantee across releases, which is why it
+// is banned repository-wide — see the CI gate). Not safe for
+// concurrent use; derive one Stream per goroutine from distinct keys.
+type Stream struct {
+	state uint64
+}
+
+// NewStream returns a stream keyed by the values (hashed through Mix,
+// so nearby seeds produce unrelated sequences).
+func NewStream(vals ...uint64) *Stream {
+	return &Stream{state: Mix(vals...)}
+}
+
+// Next returns the next 64-bit draw.
+func (s *Stream) Next() uint64 {
+	s.state = Splitmix64(s.state)
+	return s.state
+}
+
+// Intn returns a draw in [0, n); n must be positive. The modulo bias
+// is negligible for the small n these streams feed (n << 2^64).
+func (s *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("hashutil: Intn with non-positive n")
+	}
+	return int(s.Next() % uint64(n))
+}
+
+// Float64 returns a draw in [0, 1) with 53 bits of precision.
+func (s *Stream) Float64() float64 {
+	return float64(s.Next()>>11) / (1 << 53)
+}

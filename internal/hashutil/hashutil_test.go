@@ -71,6 +71,52 @@ func TestFoldOrderAndSeedSensitivity(t *testing.T) {
 	}
 }
 
+// TestStream pins the Stream draw source to its definition (output-
+// feedback splitmix64 from a Mix-hashed key) and checks the ranges the
+// test-suite migration off math/rand relies on.
+func TestStream(t *testing.T) {
+	s := NewStream(7, 9)
+	want := Mix(7, 9)
+	for i := 0; i < 4; i++ {
+		want = Splitmix64(want)
+		if got := s.Next(); got != want {
+			t.Fatalf("draw %d = %#x, want %#x", i, got, want)
+		}
+	}
+	// Same key, same sequence; different key, different sequence.
+	a, b, c := NewStream(1), NewStream(1), NewStream(2)
+	if a.Next() != b.Next() {
+		t.Error("identically-keyed streams diverge")
+	}
+	if a.Next() == c.Next() {
+		t.Error("differently-keyed streams collide on the second draw")
+	}
+	s = NewStream(3)
+	counts := make([]int, 5)
+	for i := 0; i < 5000; i++ {
+		v := s.Intn(5)
+		if v < 0 || v >= 5 {
+			t.Fatalf("Intn(5) = %d out of range", v)
+		}
+		counts[v]++
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+	for v, n := range counts {
+		if n < 800 || n > 1200 {
+			t.Errorf("Intn(5): value %d drawn %d/5000 times, want ~1000", v, n)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	s.Intn(0)
+}
+
 // TestStreamIndependence checks that streams keyed by different seeds
 // look unrelated: over many draws, two keyed streams never collide
 // and their low bits are roughly balanced — the property that lets

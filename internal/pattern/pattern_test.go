@@ -1,7 +1,7 @@
 package pattern
 
 import (
-	"math/rand"
+	"repro/internal/hashutil"
 	"testing"
 	"testing/quick"
 )
@@ -234,7 +234,7 @@ func TestPermPattern(t *testing.T) {
 
 func TestQuickPermInverseInvolution(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := hashutil.NewStream(uint64(seed))
 		n := 2 + rng.Intn(64)
 		p := KeyedPerm(n, uint64(seed))
 		q := p.Inverse().Inverse()
@@ -252,7 +252,7 @@ func TestQuickPermInverseInvolution(t *testing.T) {
 
 func TestQuickDecomposeUnionIdentity(t *testing.T) {
 	f := func(seed int64) bool {
-		rng := rand.New(rand.NewSource(seed))
+		rng := hashutil.NewStream(uint64(seed))
 		n := 2 + rng.Intn(24)
 		p := UniformRandom(n, 1+rng.Intn(4), 10, uint64(seed))
 		rounds := p.Decompose()

@@ -5,7 +5,7 @@ import (
 	"sort"
 	"strings"
 
-	"repro/internal/contention"
+	"repro/internal/evaluate"
 	"repro/internal/hashutil"
 	"repro/internal/pattern"
 	"repro/internal/xgft"
@@ -39,6 +39,11 @@ type Request struct {
 	// Resolve returns the fabric's currently installed route for a
 	// leaf pair (one consistent generation for the whole placement).
 	Resolve func(src, dst int) (xgft.Route, bool)
+	// Evaluator scores candidate allocations for traffic-aware
+	// policies. The scheduler fills it in from its configuration; a
+	// hand-built request may leave it nil, which scores with the
+	// analytic default.
+	Evaluator evaluate.Evaluator
 }
 
 // Policy chooses leaves for a job. Place must return exactly req.N
@@ -151,12 +156,12 @@ const telemetryCandidates = 4
 // Telemetry scores candidate allocations — the linear proposal, the
 // balanced proposal, and a few keyed-random draws — by embedding the
 // job's remapped pattern into the currently observed background flows
-// and computing the analytic slowdown of the combination under the
-// fabric's installed routes (contention.SlowdownRoutes). The lowest
-// score wins; ties break on candidate order. This is the placement
-// counterpart of the fabric's telemetry-driven table optimizer: the
-// same observed-traffic signal, steering allocation instead of
-// routing.
+// and scoring the combination under the fabric's installed routes
+// with the request's evaluator (the analytic slowdown bound by
+// default). The lowest score wins; ties break on candidate order.
+// This is the placement counterpart of the fabric's telemetry-driven
+// table optimizer: the same observed-traffic signal, steering
+// allocation instead of routing.
 func Telemetry() Policy { return telemetryPolicy{} }
 
 type telemetryPolicy struct{}
@@ -194,10 +199,10 @@ func (telemetryPolicy) Place(req *Request) ([]int, error) {
 }
 
 // scorePlacement embeds the job (remapped onto the candidate leaves)
-// into the background flows and returns the analytic slowdown of the
-// combination under the fabric's installed routes. Pairs the fabric
-// cannot currently resolve (severed by faults) are dropped from the
-// scored pattern, mirroring fabric.Optimize's scoring rule.
+// into the background flows and scores the combination under the
+// fabric's installed routes with the request's evaluator. Pairs the
+// fabric cannot currently resolve (severed by faults) are dropped
+// from the scored pattern, mirroring fabric.Optimize's scoring rule.
 func scorePlacement(req *Request, leaves []int) (float64, error) {
 	n := req.Topo.Leaves()
 	combined := pattern.New(n)
@@ -218,7 +223,15 @@ func scorePlacement(req *Request, leaves []int) (float64, error) {
 		q.Add(fl.Src, fl.Dst, fl.Bytes)
 		routes = append(routes, r)
 	}
-	return contention.SlowdownRoutes(req.Topo, q, routes)
+	ev := req.Evaluator
+	if ev == nil {
+		ev = evaluate.NewAnalytic(nil)
+	}
+	res, err := ev.ScoreRoutes(req.Topo, q, routes)
+	if err != nil {
+		return 0, err
+	}
+	return res.Slowdown, nil
 }
 
 // PolicyNames lists the selectable policies in presentation order.

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/dimemas"
+	"repro/internal/evaluate"
 	"repro/internal/fabric"
 	"repro/internal/pattern"
 	"repro/internal/xgft"
@@ -43,6 +44,10 @@ type Config struct {
 	// Seed keys the random policy's draws and the telemetry policy's
 	// candidate allocations. Defaults to 1, so runs are reproducible.
 	Seed uint64
+	// Evaluator scores candidate allocations for traffic-aware
+	// policies; nil adopts the fabric's evaluator, so scheduler and
+	// optimizer judge "better" with the same backend by default.
+	Evaluator evaluate.Evaluator
 }
 
 // JobSpec describes a submission: a size and an application-style
@@ -127,6 +132,7 @@ type Scheduler struct {
 	topo   *xgft.Topology
 	policy Policy
 	seed   uint64
+	eval   evaluate.Evaluator
 
 	mu     sync.Mutex
 	nextID uint64
@@ -147,12 +153,16 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
+	if cfg.Evaluator == nil {
+		cfg.Evaluator = cfg.Fabric.Evaluator()
+	}
 	topo := cfg.Fabric.Topology()
 	s := &Scheduler{
 		f:      cfg.Fabric,
 		topo:   topo,
 		policy: cfg.Policy,
 		seed:   cfg.Seed,
+		eval:   cfg.Evaluator,
 		free:   make([]bool, topo.Leaves()),
 		nFree:  topo.Leaves(),
 		jobs:   make(map[uint64]*Job),
@@ -212,6 +222,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 		Pattern:    all,
 		Background: bg,
 		Resolve:    s.f.Generation().Resolve,
+		Evaluator:  s.eval,
 	}
 	leaves, err := s.policy.Place(req)
 	if err != nil {

@@ -103,6 +103,12 @@ func MeasuredPhasedSlowdown(t *xgft.Topology, algo core.Algorithm, phases []*pat
 	return float64(net) / float64(ref), nil
 }
 
+// EventBudget bounds the event count for a pattern run: a generous
+// multiple of the theoretical segment-hop count, so genuine deadlock
+// or livelock fails fast instead of hanging. Exported for engines
+// that drive Sim directly (the evaluate venus backend).
+func EventBudget(p *pattern.Pattern, cfg Config) uint64 { return eventBudget(p, cfg) }
+
 // eventBudget bounds the event count for a pattern run: generous
 // multiple of the theoretical segment-hop count, so genuine deadlock
 // or livelock fails fast instead of hanging tests.

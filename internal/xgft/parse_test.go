@@ -1,7 +1,7 @@
 package xgft
 
 import (
-	"math/rand"
+	"repro/internal/hashutil"
 	"testing"
 	"testing/quick"
 )
@@ -67,4 +67,4 @@ func TestParseQuickRoundTrip(t *testing.T) {
 	}
 }
 
-func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+func newRand(seed int64) *hashutil.Stream { return hashutil.NewStream(uint64(seed)) }

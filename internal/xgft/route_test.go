@@ -1,7 +1,6 @@
 package xgft
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
 )
@@ -156,7 +155,7 @@ func TestRouteWalkMatchesChannelLists(t *testing.T) {
 
 func TestQuickRandomRoutesConnect(t *testing.T) {
 	f := func(seed int64) bool {
-		r := rand.New(rand.NewSource(seed))
+		r := newRand(seed)
 		tp := randomTopology(r)
 		n := tp.Leaves()
 		s, d := r.Intn(n), r.Intn(n)
@@ -175,7 +174,7 @@ func TestQuickRandomRoutesConnect(t *testing.T) {
 
 func TestQuickWalkChannelCount(t *testing.T) {
 	f := func(seed int64) bool {
-		r := rand.New(rand.NewSource(seed))
+		r := newRand(seed)
 		tp := randomTopology(r)
 		n := tp.Leaves()
 		s, d := r.Intn(n), r.Intn(n)

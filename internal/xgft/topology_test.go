@@ -1,9 +1,10 @@
 package xgft
 
 import (
-	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"repro/internal/hashutil"
 )
 
 // paperTree returns the evaluation topology XGFT(2;16,16;1,w2).
@@ -325,7 +326,7 @@ func TestAccessorCopies(t *testing.T) {
 }
 
 // randomTopology draws a small random XGFT for property tests.
-func randomTopology(r *rand.Rand) *Topology {
+func randomTopology(r *hashutil.Stream) *Topology {
 	h := 1 + r.Intn(4)
 	m := make([]int, h)
 	w := make([]int, h)
@@ -339,7 +340,7 @@ func randomTopology(r *rand.Rand) *Topology {
 
 func TestQuickLabelBijection(t *testing.T) {
 	f := func(seed int64) bool {
-		r := rand.New(rand.NewSource(seed))
+		r := newRand(seed)
 		tp := randomTopology(r)
 		for level := 0; level <= tp.Height(); level++ {
 			n := tp.NodesAt(level)
@@ -357,7 +358,7 @@ func TestQuickLabelBijection(t *testing.T) {
 
 func TestQuickParentChildAdjacency(t *testing.T) {
 	f := func(seed int64) bool {
-		r := rand.New(rand.NewSource(seed))
+		r := newRand(seed)
 		tp := randomTopology(r)
 		level := r.Intn(tp.Height())
 		idx := r.Intn(tp.NodesAt(level))
@@ -385,7 +386,7 @@ func TestQuickParentChildAdjacency(t *testing.T) {
 
 func TestQuickNCALevelMatchesLabels(t *testing.T) {
 	f := func(seed int64) bool {
-		r := rand.New(rand.NewSource(seed))
+		r := newRand(seed)
 		tp := randomTopology(r)
 		n := tp.Leaves()
 		s, d := r.Intn(n), r.Intn(n)

@@ -16,6 +16,11 @@
 //   - contention analysis (endpoint vs. network contention, analytic
 //     slowdown bounds) and the event-driven network simulator with the
 //     MPI trace replay engine,
+//   - the evaluation layer (internal/evaluate): one Evaluator
+//     interface behind which the analytic bound, the grouped-contention
+//     metric and the venus flit-level simulation are interchangeable
+//     scoring backends, with a memoizing CachedEvaluator, consumed by
+//     the fabric optimizer, the scheduler and every sweep,
 //   - the experiment harnesses that regenerate every table and figure
 //     of the paper,
 //   - the fabric-manager subsystem: a lock-free all-pairs route store
@@ -39,6 +44,7 @@ import (
 	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/dimemas"
+	"repro/internal/evaluate"
 	"repro/internal/eventq"
 	"repro/internal/experiments"
 	"repro/internal/fabric"
@@ -300,6 +306,39 @@ var (
 	KeyedRandomPermutation = pattern.KeyedRandomPermutation
 )
 
+// Evaluator is the routing-quality scoring interface: Score ranks an
+// algorithm over phases, ScoreRoutes an explicit route set, under any
+// registered backend (see internal/evaluate).
+type Evaluator = evaluate.Evaluator
+
+// EvaluatorOptions parameterizes NewEvaluator (table cache, venus
+// simulator configuration).
+type EvaluatorOptions = evaluate.Options
+
+// EvalResult is one evaluation: the slowdown figure of merit, its
+// per-phase decomposition, and what the evaluation cost.
+type EvalResult = evaluate.Result
+
+// CachedEvaluator memoizes a backend with singleflight coalescing,
+// keyed by (topology spec, algorithm/route identity, pattern content).
+type CachedEvaluator = evaluate.CachedEvaluator
+
+// The evaluation layer: pluggable routing-quality scoring backends.
+var (
+	// NewEvaluator constructs a backend by name ("analytic",
+	// "grouped", "venus"; empty selects analytic).
+	NewEvaluator = evaluate.New
+	// EvaluatorNames lists the registered backends.
+	EvaluatorNames = evaluate.Names
+	// NewAnalyticEvaluator, NewGroupedEvaluator and NewVenusEvaluator
+	// construct the backends directly.
+	NewAnalyticEvaluator = evaluate.NewAnalytic
+	NewGroupedEvaluator  = evaluate.NewGrouped
+	NewVenusEvaluator    = evaluate.NewVenus
+	// NewCachedEvaluator wraps a backend with memoization.
+	NewCachedEvaluator = evaluate.NewCached
+)
+
 // Contention analysis.
 var (
 	// AnalyzeContention computes the per-channel census of a routed
@@ -374,17 +413,20 @@ var (
 	Figure4 = experiments.Figure4
 	Figure5 = experiments.Figure5
 	Table1  = experiments.Table1
-	// DeepTreeSweep, BalanceAblation, FaultSweep, ShiftSweep and
-	// PlacementSweep are the extension studies (three-level XGFT
-	// generalization, balanced-map ablation, degraded-topology
-	// robustness, the shifting-traffic comparison of static d-mod-k
-	// against the telemetry-driven re-optimizing fabric, and the
-	// multi-tenant placement churn comparison of scheduler policies).
+	// DeepTreeSweep, BalanceAblation, FaultSweep, ShiftSweep,
+	// PlacementSweep and FidelitySweep are the extension studies
+	// (three-level XGFT generalization, balanced-map ablation,
+	// degraded-topology robustness, the shifting-traffic comparison of
+	// static d-mod-k against the telemetry-driven re-optimizing
+	// fabric, the multi-tenant placement churn comparison of scheduler
+	// policies, and the analytic-vs-venus fidelity check of the bound
+	// the whole system steers by).
 	DeepTreeSweep   = experiments.DeepTreeSweep
 	BalanceAblation = experiments.BalanceAblation
 	FaultSweep      = experiments.FaultSweep
 	ShiftSweep      = experiments.ShiftSweep
 	PlacementSweep  = experiments.PlacementSweep
+	FidelitySweep   = experiments.FidelitySweep
 	// Summarize computes boxplot statistics.
 	Summarize = stats.Summarize
 )

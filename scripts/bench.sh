@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# bench.sh — seed the perf trajectory: run the evaluator, fabric and
+# experiment-engine benchmarks once and write the raw `go test -json`
+# event stream to BENCH_<date>.json. One file per day of work; diff
+# successive files (or feed them to benchstat after converting) to see
+# where the hot paths moved. CI runs this once per push as a smoke
+# check that every benchmark still compiles and completes.
+#
+# Usage:
+#   ./scripts/bench.sh                 # -benchtime=1x smoke run
+#   ./scripts/bench.sh -benchtime=100x # steadier numbers, extra args
+#                                      # are passed to `go test`
+set -eu
+cd "$(dirname "$0")/.."
+out="BENCH_$(date +%Y-%m-%d).json"
+go test -run='^$' -bench=. -benchtime=1x -json "$@" \
+    ./internal/evaluate ./internal/fabric ./internal/experiments . \
+    >"$out"
+count=$(grep -c '"Output".*ns/op' "$out" || true)
+echo "wrote $out ($count benchmark results)"
