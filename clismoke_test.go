@@ -1,6 +1,7 @@
 package repro_test
 
 import (
+	"bufio"
 	"bytes"
 	"os/exec"
 	"path/filepath"
@@ -55,6 +56,57 @@ func TestCLISmoke(t *testing.T) {
 			}
 		})
 	}
+
+	// Wire-protocol round trip: fabricd serving the binary resolve
+	// protocol on an ephemeral port, driven by resolveload — the two
+	// halves of the wire-speed serving story exercised as real
+	// subprocesses, exactly as an operator runs them.
+	t.Run("fabricd+resolveload", func(t *testing.T) {
+		daemon := exec.Command(filepath.Join(bin, "fabricd"),
+			"-xgft", "2;8,8;1,4", "-addr", "127.0.0.1:0", "-listen-binary", "127.0.0.1:0")
+		stdout, err := daemon.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		daemon.Stderr = &bytes.Buffer{}
+		if err := daemon.Start(); err != nil {
+			t.Fatalf("starting fabricd: %v", err)
+		}
+		defer func() {
+			daemon.Process.Kill()
+			daemon.Wait()
+		}()
+
+		// fabricd prints the bound binary address before serving.
+		var binAddr string
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if rest, ok := strings.CutPrefix(sc.Text(), "fabricd: binary resolve protocol on "); ok {
+				binAddr = rest
+				break
+			}
+		}
+		if binAddr == "" {
+			t.Fatalf("fabricd never announced the binary listener (scan error %v)", sc.Err())
+		}
+
+		var out, errs bytes.Buffer
+		load := exec.Command(filepath.Join(bin, "resolveload"),
+			"-addr", binAddr, "-xgft", "2;8,8;1,4", "-conns", "2", "-batch", "512", "-batches", "50")
+		load.Stdout = &out
+		load.Stderr = &errs
+		if err := load.Run(); err != nil {
+			t.Fatalf("resolveload: %v\nstdout:\n%s\nstderr:\n%s", err, out.String(), errs.String())
+		}
+		// 2 conns x 50 batches x 512 pairs, every pair in range on a
+		// healthy fabric: all must resolve.
+		if !strings.Contains(out.String(), "resolved 51200/51200 pairs in 100 batches") {
+			t.Fatalf("resolveload did not resolve every pair:\n%s", out.String())
+		}
+		if !strings.Contains(out.String(), "resolves/s") || !strings.Contains(out.String(), "batch RTT p50") {
+			t.Fatalf("resolveload did not report rate and latency:\n%s", out.String())
+		}
+	})
 
 	// Parallelism-invariance ride-alongs: each sweep's table must be
 	// byte-identical between -parallel=1 and -parallel=8 (only the

@@ -1,0 +1,254 @@
+// Command benchgate turns the perf trajectory into a regression gate:
+// it reduces `go test -json` benchmark streams (what scripts/bench.sh
+// writes to BENCH_<date>.json) to a compact name → ns/op map, and
+// compares a fresh run against a committed baseline, failing when a
+// hot-path benchmark slowed beyond the threshold. Multiple samples of
+// one benchmark (`go test -count=N`) reduce to the minimum — the
+// standard trick for gating on machine-noise-prone timings: the min
+// is the least-interfered-with sample.
+//
+// Usage:
+//
+//	benchgate -extract BENCH_2026-08-08.json        # stream → compact JSON on stdout
+//	benchgate -baseline scripts/bench_baseline.json -current /tmp/gate.json \
+//	          -threshold 0.10 -match 'ResolveBatch|Wire|CachedScore'
+//
+// Compare mode exits 1 when any baseline benchmark matching -match
+// regressed by more than -threshold (relative ns/op), or disappeared
+// from the current run. Benchmarks faster than -floor in the baseline
+// are reported but never gate — below a few microseconds the timer
+// granularity drowns the signal. -current accepts either a raw
+// stream or a compact extract.
+//
+// Shared CI runners drift tens of percent run to run, which would
+// drown a 10% gate in machine noise. Each gated package therefore
+// carries a BenchmarkCalibration (internal/benchcal), a fixed
+// ALU-bound reference workload; when both baseline and current record
+// it, every benchmark in that package is compared after dividing out
+// the calibration drift ratio, so the gate tracks code changes, not
+// runner speed. Calibration entries themselves never gate.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// compact is the committed-baseline form: benchmark key → best ns/op.
+type compact struct {
+	// Note records how the file was produced, for humans diffing it.
+	Note       string             `json:"note,omitempty"`
+	Benchmarks map[string]float64 `json:"benchmarks"`
+}
+
+func main() {
+	var (
+		extract   = flag.String("extract", "", "reduce this go test -json stream to compact JSON on stdout")
+		baseline  = flag.String("baseline", "", "compact baseline to compare against")
+		current   = flag.String("current", "", "fresh run (stream or compact) to compare")
+		threshold = flag.Float64("threshold", 0.10, "maximum tolerated relative ns/op regression")
+		match     = flag.String("match", ".", "gate only baseline benchmarks matching this regexp")
+		floor     = flag.Duration("floor", time.Microsecond, "baseline entries faster than this are reported but never fail the gate")
+		note      = flag.String("note", "", "annotation stored in -extract output")
+	)
+	flag.Parse()
+	switch {
+	case *extract != "":
+		if err := runExtract(*extract, *note); err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+	case *baseline != "" && *current != "":
+		ok, err := runCompare(*baseline, *current, *threshold, *match, *floor)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "benchgate:", err)
+			os.Exit(2)
+		}
+		if !ok {
+			os.Exit(1)
+		}
+	default:
+		fmt.Fprintln(os.Stderr, "benchgate: need -extract FILE, or -baseline FILE -current FILE")
+		os.Exit(2)
+	}
+}
+
+// parseStream reduces a `go test -json` event stream to benchmark key
+// → min ns/op. Benchmark results arrive as output events whose Test
+// field names the benchmark and whose Output line carries
+// "<iters> <ns> ns/op ...".
+func parseStream(path string) (map[string]float64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	best := make(map[string]float64)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var ev struct {
+			Action  string
+			Package string
+			Test    string
+			Output  string
+		}
+		if err := json.Unmarshal(sc.Bytes(), &ev); err != nil {
+			return nil, fmt.Errorf("%s is not a go test -json stream: %w", path, err)
+		}
+		if ev.Action != "output" || !strings.HasPrefix(ev.Test, "Benchmark") || !strings.Contains(ev.Output, " ns/op") {
+			continue
+		}
+		fields := strings.Fields(ev.Output)
+		ns := -1.0
+		for i := 1; i < len(fields); i++ {
+			if fields[i] == "ns/op" {
+				v, err := strconv.ParseFloat(fields[i-1], 64)
+				if err != nil {
+					return nil, fmt.Errorf("%s: bad ns/op value in %q", path, ev.Output)
+				}
+				ns = v
+				break
+			}
+		}
+		if ns < 0 {
+			continue
+		}
+		key := ev.Package + "." + ev.Test
+		if cur, seen := best[key]; !seen || ns < cur {
+			best[key] = ns
+		}
+	}
+	return best, sc.Err()
+}
+
+// load reads benchmarks from either a compact extract or a raw
+// stream, detected by shape.
+func load(path string) (map[string]float64, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var c compact
+	if err := json.Unmarshal(data, &c); err == nil && c.Benchmarks != nil {
+		return c.Benchmarks, nil
+	}
+	return parseStream(path)
+}
+
+func runExtract(path, note string) error {
+	best, err := parseStream(path)
+	if err != nil {
+		return err
+	}
+	if len(best) == 0 {
+		return fmt.Errorf("%s contains no benchmark results", path)
+	}
+	out, err := json.MarshalIndent(compact{Note: note, Benchmarks: best}, "", "  ")
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Println(string(out))
+	return err
+}
+
+// calibration is the per-package machine-speed reference benchmark
+// (internal/benchcal) that normalizes the gate against runner drift.
+const calibration = "BenchmarkCalibration"
+
+// pkgOf splits a "<package>.Benchmark<Name>" key back into its
+// package half.
+func pkgOf(key string) string {
+	if i := strings.LastIndex(key, ".Benchmark"); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// calibrationScales returns, per package with a calibration sample in
+// both runs, current/baseline calibration ns/op — the machine drift
+// factor to divide out of that package's current timings.
+func calibrationScales(base, cur map[string]float64) map[string]float64 {
+	scales := make(map[string]float64)
+	for k, b := range base {
+		if !strings.HasSuffix(k, "."+calibration) || b <= 0 {
+			continue
+		}
+		if c, present := cur[k]; present && c > 0 {
+			scales[pkgOf(k)] = c / b
+		}
+	}
+	return scales
+}
+
+func runCompare(basePath, curPath string, threshold float64, match string, floor time.Duration) (ok bool, err error) {
+	re, err := regexp.Compile(match)
+	if err != nil {
+		return false, fmt.Errorf("bad -match: %w", err)
+	}
+	base, err := load(basePath)
+	if err != nil {
+		return false, err
+	}
+	cur, err := load(curPath)
+	if err != nil {
+		return false, err
+	}
+	keys := make([]string, 0, len(base))
+	for k := range base {
+		if re.MatchString(k) && !strings.HasSuffix(k, "."+calibration) {
+			keys = append(keys, k)
+		}
+	}
+	sort.Strings(keys)
+	if len(keys) == 0 {
+		return false, fmt.Errorf("no baseline benchmark matches %q", match)
+	}
+	scales := calibrationScales(base, cur)
+	pkgs := make([]string, 0, len(scales))
+	for pkg := range scales {
+		pkgs = append(pkgs, pkg)
+	}
+	sort.Strings(pkgs)
+	for _, pkg := range pkgs {
+		fmt.Printf("cal  %-70s machine drift x%.3f (divided out below)\n", pkg, scales[pkg])
+	}
+	failures := 0
+	for _, k := range keys {
+		b := base[k]
+		c, present := cur[k]
+		if !present {
+			fmt.Printf("FAIL %-70s baseline %10.0f ns/op, missing from current run\n", k, b)
+			failures++
+			continue
+		}
+		if scale, ok := scales[pkgOf(k)]; ok {
+			c /= scale
+		}
+		rel := (c - b) / b
+		status := "ok  "
+		gated := b >= float64(floor.Nanoseconds())
+		switch {
+		case rel > threshold && gated:
+			status = "FAIL"
+			failures++
+		case rel > threshold:
+			status = "warn" // too fast to gate reliably; report only
+		}
+		fmt.Printf("%s %-70s %10.0f -> %10.0f ns/op (%+6.1f%%)\n", status, k, b, c, 100*rel)
+	}
+	if failures > 0 {
+		fmt.Printf("benchgate: %d benchmark(s) regressed beyond %.0f%% of the committed baseline\n", failures, 100*threshold)
+		return false, nil
+	}
+	fmt.Printf("benchgate: %d benchmark(s) within %.0f%% of the committed baseline\n", len(keys), 100*threshold)
+	return true, nil
+}

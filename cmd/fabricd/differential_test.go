@@ -1,0 +1,309 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/hashutil"
+	"repro/internal/wire"
+	"repro/internal/xgft"
+)
+
+// startWire serves the binary protocol for a fabric on a loopback
+// port and returns a connected client.
+func startWire(t *testing.T, f *fabric.Fabric) *wire.Client {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &wire.Server{Resolver: f}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	c, err := wire.Dial(l.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// httpResolve resolves one pair over the HTTP front door, returning
+// the up-ports, serving generation and whether the pair resolved
+// (404 = unreachable).
+func httpResolve(t *testing.T, base string, src, dst int) (up []int, generation uint64, ok bool) {
+	t.Helper()
+	resp, err := http.Get(fmt.Sprintf("%s/resolve?src=%d&dst=%d", base, src, dst))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var body struct {
+		Up         []int   `json:"up"`
+		Generation uint64  `json:"generation"`
+		Error      *string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		t.Fatalf("GET /resolve?src=%d&dst=%d: %v", src, dst, err)
+	}
+	switch resp.StatusCode {
+	case http.StatusOK:
+		return body.Up, body.Generation, true
+	case http.StatusNotFound:
+		return nil, 0, false
+	default:
+		t.Fatalf("GET /resolve?src=%d&dst=%d: status %d", src, dst, resp.StatusCode)
+		return nil, 0, false
+	}
+}
+
+// diffPairs builds a keyed batch mixing normal, self and (for the
+// binary path) out-of-range pairs.
+func diffPairs(n, count int, key uint64, outOfRange bool) [][2]int {
+	st := hashutil.NewStream(0xd1ff, key)
+	pairs := make([][2]int, count)
+	for i := range pairs {
+		switch {
+		case outOfRange && st.Intn(16) == 0:
+			pairs[i] = [2]int{n + st.Intn(9), st.Intn(n)}
+		case st.Intn(16) == 1:
+			s := st.Intn(n)
+			pairs[i] = [2]int{s, s}
+		default:
+			pairs[i] = [2]int{st.Intn(n), st.Intn(n)}
+		}
+	}
+	return pairs
+}
+
+// TestDifferentialResolvePaths proves the three resolve paths serve
+// the same table: for keyed-random batches, the binary protocol's
+// packed words are byte-identical to in-process ResolveBatchPacked,
+// its decoded routes equal in-process ResolveBatch, and the HTTP
+// /resolve answers agree pair by pair — on the healthy generation
+// and again on a degraded one with real unreachable pairs.
+func TestDifferentialResolvePaths(t *testing.T) {
+	f, s, err := build("2;8,8;1,4", "d-mod-k", "linear", "analytic", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wc := startWire(t, f)
+	hs := httptest.NewServer(newMux(f, s, 0))
+	defer hs.Close()
+	n := f.Topology().Leaves()
+
+	check := func(t *testing.T, key uint64) {
+		t.Helper()
+		gen := f.Generation()
+		pairs := diffPairs(n, 512, key, true)
+
+		// Binary vs in-process: packed words byte-identical.
+		wantPacked := make([]uint64, len(pairs))
+		gen.ResolveBatchPacked(pairs, wantPacked)
+		gotGen, gotPacked, err := wc.ResolveBatchPacked(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotGen != gen.Seq() {
+			t.Fatalf("wire generation %d, in-process %d", gotGen, gen.Seq())
+		}
+		for i := range pairs {
+			if gotPacked[i] != wantPacked[i] {
+				t.Fatalf("pair %v: wire packed %#x, in-process %#x", pairs[i], gotPacked[i], wantPacked[i])
+			}
+		}
+
+		// Binary decoded vs in-process materialized routes.
+		wantRoutes := make([]xgft.Route, len(pairs))
+		wantResolved := gen.ResolveBatch(pairs, wantRoutes)
+		gotRoutes := make([]xgft.Route, len(pairs))
+		_, gotResolved, err := wc.ResolveBatch(pairs, gotRoutes)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotResolved != wantResolved {
+			t.Fatalf("wire resolved %d, in-process %d", gotResolved, wantResolved)
+		}
+		for i := range pairs {
+			if fmt.Sprint(gotRoutes[i]) != fmt.Sprint(wantRoutes[i]) {
+				t.Fatalf("pair %v: wire route %v, in-process %v", pairs[i], gotRoutes[i], wantRoutes[i])
+			}
+		}
+
+		// HTTP vs in-process, on an in-range subset (the HTTP handler
+		// rejects out-of-range pairs with 400 by design).
+		for _, p := range diffPairs(n, 48, key+100, false) {
+			up, hgen, ok := httpResolve(t, hs.URL, p[0], p[1])
+			r, wantOK := gen.Resolve(p[0], p[1])
+			if ok != wantOK {
+				t.Fatalf("pair %v: HTTP ok %v, in-process %v", p, ok, wantOK)
+			}
+			if !ok {
+				continue
+			}
+			if hgen != gen.Seq() {
+				t.Fatalf("pair %v: HTTP generation %d, in-process %d", p, hgen, gen.Seq())
+			}
+			if len(up) != len(r.Up) {
+				t.Fatalf("pair %v: HTTP up %v, in-process %v", p, up, r.Up)
+			}
+			for j := range up {
+				if up[j] != r.Up[j] {
+					t.Fatalf("pair %v: HTTP up %v, in-process %v", p, up, r.Up)
+				}
+			}
+		}
+	}
+
+	t.Run("healthy", func(t *testing.T) { check(t, 1) })
+
+	// Isolate leaf 5 (its only level-0 up wire) so the degraded
+	// generation has genuinely unreachable pairs on every path.
+	if _, err := f.FailLink(0, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Resolve(5, 9); ok {
+		t.Fatal("leaf 5 still reachable after fault")
+	}
+	t.Run("fault-view", func(t *testing.T) { check(t, 2) })
+}
+
+// TestDifferentialUnderGenerationSwaps hammers the binary path while
+// Optimize passes and fault/heal cycles hot-swap generations
+// underneath it (run under -race in CI). Every response must be
+// internally consistent: tagged with a generation that existed, and
+// when no swap happened around the request, byte-identical to the
+// in-process packed resolve of that exact generation.
+func TestDifferentialUnderGenerationSwaps(t *testing.T) {
+	f, _, err := build("2;8,8;1,4", "d-mod-k", "linear", "analytic", 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := f.Topology().Leaves()
+
+	// Seed skewed telemetry so Optimize has something to chew on.
+	st := hashutil.NewStream(0xa7, 3)
+	for i := 0; i < 512; i++ {
+		f.Resolve(st.Intn(8), 8+st.Intn(n-8))
+	}
+
+	wc := startWire(t, f)
+
+	// Phase 1 — no churn yet: every batch must match the pinned
+	// generation byte for byte, so the exact-equality arm is exercised
+	// deterministically rather than depending on winning a race below.
+	for bi := 0; bi < 50; bi++ {
+		pairs := diffPairs(n, 128, uint64(1000+bi), true)
+		gen := f.Generation()
+		gotGen, packed, err := wc.ResolveBatchPacked(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gotGen != gen.Seq() {
+			t.Fatalf("quiescent batch %d: wire generation %d, pinned %d", bi, gotGen, gen.Seq())
+		}
+		want := make([]uint64, len(pairs))
+		gen.ResolveBatchPacked(pairs, want)
+		for i := range pairs {
+			if packed[i] != want[i] {
+				t.Fatalf("quiescent batch %d pair %v: wire %#x, in-process %#x", bi, pairs[i], packed[i], want[i])
+			}
+		}
+	}
+
+	// Phase 2 — live churn underneath the same connection.
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	var swaps atomic.Int64
+	churn.Add(2)
+	go func() { // Optimize churn: threshold 0 swaps on any improvement
+		defer churn.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if res, err := f.Optimize(fabric.OptimizeConfig{Threshold: 0}); err == nil && res.Swapped {
+				swaps.Add(1)
+			}
+		}
+	}()
+	go func() { // fault/heal churn: guaranteed generation swaps
+		defer churn.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := f.FailLink(1, i%8, i%4); err == nil {
+				swaps.Add(1)
+			}
+			if _, err := f.Heal(); err == nil {
+				swaps.Add(1)
+			}
+		}
+	}()
+
+	exact, raced := 0, 0
+	for bi := 0; bi < 200; bi++ {
+		pairs := diffPairs(n, 128, uint64(bi), true)
+		before := f.Generation()
+		gotGen, packed, err := wc.ResolveBatchPacked(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := f.Generation()
+		if before.Seq() == after.Seq() {
+			// Quiescent window: the response must be exactly that
+			// generation's table.
+			if gotGen != before.Seq() {
+				t.Fatalf("batch %d: wire generation %d, pinned %d", bi, gotGen, before.Seq())
+			}
+			want := make([]uint64, len(pairs))
+			before.ResolveBatchPacked(pairs, want)
+			for i := range pairs {
+				if packed[i] != want[i] {
+					t.Fatalf("batch %d pair %v: wire %#x, in-process %#x", bi, pairs[i], packed[i], want[i])
+				}
+			}
+			exact++
+			continue
+		}
+		// A swap raced the request: the batch must still be a
+		// consistent table — generation in the observed window and
+		// every word a well-formed route of the topology.
+		raced++
+		if gotGen < before.Seq() || gotGen > after.Seq() {
+			t.Fatalf("batch %d: wire generation %d outside window [%d,%d]", bi, gotGen, before.Seq(), after.Seq())
+		}
+		for i, p := range pairs {
+			if packed[i] == wire.Unreachable {
+				continue
+			}
+			src, dst := p[0], p[1]
+			if src == dst && packed[i] == 0 {
+				continue
+			}
+			r := xgft.Route{Src: src, Dst: dst, Up: fabric.AppendPackedUp(packed[i], nil)}
+			if !r.VerifyConnects(f.Topology()) {
+				t.Fatalf("batch %d pair %v: packed %#x decodes to a route that does not connect", bi, p, packed[i])
+			}
+		}
+	}
+	close(stop)
+	churn.Wait()
+	t.Logf("200 churned batches: %d exact-match windows, %d raced swaps (%d total swaps)", exact, raced, swaps.Load())
+	if swaps.Load() == 0 {
+		t.Error("churn produced no generation swaps; raced arm untested")
+	}
+}

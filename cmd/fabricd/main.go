@@ -9,6 +9,7 @@
 // Usage:
 //
 //	fabricd -xgft "2;16,16;1,16" -algo d-mod-k -addr :7420
+//	fabricd -xgft "2;16,16;1,16" -listen-binary :7421
 //	fabricd -xgft "2;16,16;1,16" -algo r-NCA-u -seed 7 -addr :7420
 //	fabricd -xgft "2;16,16;1,10" -reoptimize 30s -threshold 0.05
 //	fabricd -xgft "2;16,16;1,10" -sched balanced
@@ -48,6 +49,13 @@
 // 400 and a structured error body; a job that does not fit the free
 // pool is 409.
 //
+// -listen-binary additionally serves the wire-speed binary resolve
+// protocol (internal/wire: length-prefixed frames, batched pairs in,
+// packed routes + generation out, zero allocations per batch) on a
+// second TCP port — the front door for resolvers that need the
+// fabric's in-process rate rather than HTTP's. Drive it with
+// cmd/resolveload or wire.Client.
+//
 // -demo runs a scripted cycle without binding a port: start, resolve,
 // fail a top-level link, watch the generation swap, measure
 // resolution throughput, heal, drive a skewed traffic pattern and
@@ -60,6 +68,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"net"
 	"net/http"
 	"os"
 	"strconv"
@@ -72,6 +81,7 @@ import (
 	"repro/internal/hashutil"
 	"repro/internal/pattern"
 	"repro/internal/sched"
+	"repro/internal/wire"
 	"repro/internal/xgft"
 )
 
@@ -86,6 +96,7 @@ func main() {
 		threshold = flag.Float64("threshold", 0.05, "minimum relative slowdown improvement required to swap tables")
 		policy    = flag.String("sched", "linear", "job placement policy: "+strings.Join(sched.PolicyNames(), ", "))
 		backend   = flag.String("evaluator", "analytic", "routing-quality scoring backend: "+strings.Join(evaluate.Names(), ", "))
+		binAddr   = flag.String("listen-binary", "", "TCP listen address for the binary resolve protocol (internal/wire); empty disables it")
 		demo      = flag.Bool("demo", false, "run a scripted failure/heal/re-optimize/schedule cycle and exit (no server)")
 	)
 	flag.Parse()
@@ -109,8 +120,31 @@ func main() {
 		}
 		go reoptimizeLoop(f, *reopt, *threshold)
 	}
-	fmt.Printf("fabricd: serving %s under %s on %s (scheduler policy %s)\n", f.Topology(), *algo, *addr, s.Policy())
-	if err := http.ListenAndServe(*addr, newMux(f, s, *threshold)); err != nil {
+	// Bind before announcing so the printed addresses are the real
+	// (possibly :0-assigned) ones — the CLI smoke test and scripted
+	// clients parse them.
+	httpL, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fabricd:", err)
+		os.Exit(2)
+	}
+	if *binAddr != "" {
+		binL, err := net.Listen("tcp", *binAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fabricd:", err)
+			os.Exit(2)
+		}
+		srv := &wire.Server{Resolver: f}
+		fmt.Printf("fabricd: binary resolve protocol on %s\n", binL.Addr())
+		go func() {
+			if err := srv.Serve(binL); err != nil {
+				fmt.Fprintln(os.Stderr, "fabricd: binary listener:", err)
+				os.Exit(2)
+			}
+		}()
+	}
+	fmt.Printf("fabricd: serving %s under %s on %s (scheduler policy %s)\n", f.Topology(), *algo, httpL.Addr(), s.Policy())
+	if err := http.Serve(httpL, newMux(f, s, *threshold)); err != nil {
 		fmt.Fprintln(os.Stderr, "fabricd:", err)
 		os.Exit(2)
 	}

@@ -1,0 +1,162 @@
+// Command resolveload drives a fabricd binary resolve listener
+// (fabricd -listen-binary, internal/wire) with keyed-deterministic
+// traffic and reports the served rate: total resolves/s plus batch
+// round-trip latency percentiles. It is the load half of the
+// wire-speed serving story — the number it prints is what the fabric
+// sustains through the daemon, not in-process.
+//
+// Usage:
+//
+//	resolveload -addr 127.0.0.1:7421 -xgft "2;16,16;1,16"
+//	resolveload -addr 127.0.0.1:7421 -conns 8 -batch 4096 -duration 5s
+//	resolveload -addr 127.0.0.1:7421 -conns 2 -batch 512 -batches 50
+//
+// Traffic is a pure function of (-seed, connection, batch index):
+// every run with the same flags resolves the same pairs in the same
+// order, so two runs against the same daemon state are comparable
+// load for load. -batches fixes the per-connection batch count (a
+// deterministic amount of work); otherwise each connection issues
+// batches until -duration elapses.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/hashutil"
+	"repro/internal/wire"
+	"repro/internal/xgft"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7421", "fabricd binary resolve address")
+		spec     = flag.String("xgft", "2;16,16;1,16", `topology served by the daemon, as "h;m1,..;w1,.." (sets the endpoint range)`)
+		conns    = flag.Int("conns", 4, "concurrent connections")
+		batch    = flag.Int("batch", 1024, "pairs per request")
+		batches  = flag.Int("batches", 0, "batches per connection (0 = run for -duration)")
+		duration = flag.Duration("duration", 2*time.Second, "run length when -batches is 0")
+		seed     = flag.Uint64("seed", 1, "traffic key")
+		timeout  = flag.Duration("timeout", 10*time.Second, "per-request network timeout")
+	)
+	flag.Parse()
+	if err := run(*addr, *spec, *conns, *batch, *batches, *duration, *seed, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "resolveload:", err)
+		os.Exit(2)
+	}
+}
+
+// connResult is one connection's tally.
+type connResult struct {
+	batches   int
+	resolved  int64
+	requested int64
+	rtts      []time.Duration
+	err       error
+}
+
+func run(addr, spec string, conns, batch, batches int, duration time.Duration, seed uint64, timeout time.Duration) error {
+	tp, err := xgft.Parse(spec)
+	if err != nil {
+		return err
+	}
+	if conns < 1 || batch < 1 || batch > wire.MaxPairs {
+		return fmt.Errorf("need -conns >= 1 and 1 <= -batch <= %d", wire.MaxPairs)
+	}
+	n := tp.Leaves()
+	if batches > 0 {
+		fmt.Printf("resolveload: %d conns x %d batches x %d pairs against %s (%d leaves, seed %d)\n",
+			conns, batches, batch, addr, n, seed)
+	} else {
+		fmt.Printf("resolveload: %d conns x %d-pair batches for %v against %s (%d leaves, seed %d)\n",
+			conns, batch, duration, addr, n, seed)
+	}
+
+	results := make([]connResult, conns)
+	var wg sync.WaitGroup
+	start := time.Now()
+	stop := start.Add(duration)
+	for ci := 0; ci < conns; ci++ {
+		wg.Add(1)
+		go func(ci int) {
+			defer wg.Done()
+			results[ci] = drive(addr, n, ci, batch, batches, stop, seed, timeout)
+		}(ci)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var total connResult
+	var rtts []time.Duration
+	for ci := range results {
+		r := &results[ci]
+		if r.err != nil {
+			return fmt.Errorf("connection %d: %w", ci, r.err)
+		}
+		total.batches += r.batches
+		total.resolved += r.resolved
+		total.requested += r.requested
+		rtts = append(rtts, r.rtts...)
+	}
+	if total.batches == 0 {
+		return fmt.Errorf("no batches completed")
+	}
+	fmt.Printf("  resolved %d/%d pairs in %d batches over %v (%.2fM resolves/s)\n",
+		total.resolved, total.requested, total.batches, elapsed.Round(time.Millisecond),
+		float64(total.resolved)/elapsed.Seconds()/1e6)
+	sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
+	pct := func(p float64) time.Duration {
+		i := int(p * float64(len(rtts)-1))
+		return rtts[i]
+	}
+	fmt.Printf("  batch RTT p50 %v p90 %v p99 %v max %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
+		pct(0.99).Round(time.Microsecond), rtts[len(rtts)-1].Round(time.Microsecond))
+	return nil
+}
+
+// drive runs one connection's load: batches of pairs drawn from a
+// stream keyed by (seed, connection, batch index), so the traffic is
+// reproducible per flag set.
+func drive(addr string, n, ci, batch, batches int, stop time.Time, seed uint64, timeout time.Duration) connResult {
+	var res connResult
+	c, err := wire.Dial(addr, timeout)
+	if err != nil {
+		res.err = err
+		return res
+	}
+	defer c.Close()
+	pairs := make([][2]int, batch)
+	for bi := 0; ; bi++ {
+		if batches > 0 {
+			if bi >= batches {
+				return res
+			}
+		} else if time.Now().After(stop) {
+			return res
+		}
+		st := hashutil.NewStream(0x10ad, seed, uint64(ci), uint64(bi))
+		for i := range pairs {
+			pairs[i] = [2]int{st.Intn(n), st.Intn(n)}
+		}
+		t0 := time.Now()
+		_, packed, err := c.ResolveBatchPacked(pairs)
+		rtt := time.Since(t0)
+		if err != nil {
+			res.err = err
+			return res
+		}
+		res.batches++
+		res.requested += int64(len(pairs))
+		res.rtts = append(res.rtts, rtt)
+		for _, p := range packed {
+			if p != wire.Unreachable {
+				res.resolved++
+			}
+		}
+	}
+}

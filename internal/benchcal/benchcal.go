@@ -1,0 +1,46 @@
+// Package benchcal pins a deterministic ALU-bound reference workload
+// used to normalize benchmark timings across machine-speed drift.
+// Shared CI runners swing tens of percent between runs (frequency
+// scaling, noisy neighbors); a raw ns/op gate at 10% flakes on that
+// alone. Each gated package exposes the same BenchmarkCalibration via
+// Bench, and cmd/benchgate divides every benchmark's current ns/op by
+// the calibration drift ratio of its package before comparing to the
+// committed baseline — machine drift cancels, code regressions
+// remain.
+package benchcal
+
+import "testing"
+
+// Spin advances a splitmix64-style mixer n times and returns the
+// final state. Pure integer ALU work with a serial dependency chain:
+// no memory traffic, no branches the predictor can miss, so its
+// timing tracks effective CPU speed and little else.
+func Spin(n int) uint64 {
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < n; i++ {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z ^= z >> 30
+		z *= 0xbf58476d1ce4e5b9
+		z ^= z >> 27
+		z *= 0x94d049bb133111eb
+		z ^= z >> 31
+		x ^= z
+	}
+	return x
+}
+
+var sink uint64
+
+// Bench is the body every gated package wraps as its
+// BenchmarkCalibration. Spin(4096) lands in the microseconds — the
+// same magnitude as the gated hot paths, so per-iteration overhead
+// distorts neither.
+func Bench(b *testing.B) {
+	b.ReportAllocs()
+	var acc uint64
+	for i := 0; i < b.N; i++ {
+		acc += Spin(4096)
+	}
+	sink = acc
+}

@@ -58,6 +58,28 @@ func BenchmarkResolveBatch(b *testing.B) {
 	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "routes/s")
 }
 
+// BenchmarkResolveBatchPacked measures the wire-speed hot path: bulk
+// resolution into packed words (no route materialization, zero
+// allocations) — what the binary resolve protocol serves per request.
+func BenchmarkResolveBatchPacked(b *testing.B) {
+	f := benchFabric(b)
+	n := f.Topology().Leaves()
+	const batch = 4096
+	pairs := make([][2]int, batch)
+	out := make([]uint64, batch)
+	h := uint64(1)
+	for i := range pairs {
+		h = hashutil.Splitmix64(h)
+		pairs[i] = [2]int{int(h % uint64(n)), int(h >> 32 % uint64(n))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ResolveBatchPacked(pairs, out)
+	}
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "routes/s")
+}
+
 // BenchmarkResolveTelemetry is BenchmarkResolve with the flow
 // counters enabled: the acceptance bar is < 10% regression (one
 // uncontended atomic add per resolve).

@@ -6,11 +6,14 @@ import (
 	"repro/internal/xgft"
 )
 
-// unreachablePacked marks a pair with no surviving minimal path. It
+// PackedUnreachable marks a pair with no surviving minimal path. It
 // cannot collide with a real packed route: every real digit is at
 // most W(l)-1 <= 254 and the level byte is at most maxHeight, so a
-// packed route never has an all-ones byte.
-const unreachablePacked = ^uint64(0)
+// packed route never has an all-ones byte. The constant is exported
+// because packed words are also the store's wire form — the binary
+// resolve protocol (internal/wire) ships them verbatim, and clients
+// need the sentinel to tell "unreachable" from a route.
+const PackedUnreachable = ^uint64(0)
 
 // levelShift positions the NCA level in the top byte of a packed
 // route, so resolution reads the ascent length straight from the
@@ -102,6 +105,23 @@ func unpackRoute(packed uint64) []int {
 	return up
 }
 
+// PackedNCALevel returns the ascent length (the NCA level) encoded in
+// a packed route. 0 is the empty route of a self pair; callers must
+// check PackedUnreachable first.
+func PackedNCALevel(packed uint64) int { return int(packed >> levelShift) }
+
+// AppendPackedUp appends the packed route's up-ports, lowest level
+// first, to dst and returns it — the allocation-free inverse of
+// packRoute for clients that decode packed words received off the
+// wire.
+func AppendPackedUp(packed uint64, dst []int) []int {
+	l := int(packed >> levelShift)
+	for i := 0; i < l; i++ {
+		dst = append(dst, int(packed>>(8*uint(i))&0xff))
+	}
+	return dst
+}
+
 // Seq returns the generation sequence number.
 func (g *Generation) Seq() uint64 { return g.stats.Seq }
 
@@ -128,7 +148,7 @@ func (g *Generation) Resolve(src, dst int) (r xgft.Route, ok bool) {
 		return r, true
 	}
 	packed := g.shards[src][dst]
-	if packed == unreachablePacked {
+	if packed == PackedUnreachable {
 		return xgft.Route{}, false
 	}
 	r.Up = unpackRoute(packed)
@@ -155,7 +175,7 @@ func (g *Generation) ResolveBatch(pairs [][2]int, out []xgft.Route) (resolved in
 			continue
 		}
 		packed := g.shards[src][dst]
-		if packed == unreachablePacked {
+		if packed == PackedUnreachable {
 			out[i] = xgft.Route{}
 			continue
 		}
@@ -167,6 +187,35 @@ func (g *Generation) ResolveBatch(pairs [][2]int, out []xgft.Route) (resolved in
 		}
 		out[i] = xgft.Route{Src: src, Dst: dst, Up: up}
 		resolved++
+	}
+	return resolved
+}
+
+// ResolveBatchPacked resolves pairs[i] into out[i] as packed words —
+// the store's native encoding, shipped verbatim by the binary resolve
+// protocol — and returns how many resolved. out must be at least as
+// long as pairs. Out-of-range and unreachable pairs get
+// PackedUnreachable; self pairs get 0 (the empty ascent). Unlike
+// ResolveBatch there is no arena to fill, so the call performs zero
+// allocations.
+func (g *Generation) ResolveBatchPacked(pairs [][2]int, out []uint64) (resolved int) {
+	n := g.topo.Leaves()
+	for i, p := range pairs {
+		src, dst := p[0], p[1]
+		if src < 0 || src >= n || dst < 0 || dst >= n {
+			out[i] = PackedUnreachable
+			continue
+		}
+		if src == dst {
+			out[i] = 0
+			resolved++
+			continue
+		}
+		packed := g.shards[src][dst]
+		out[i] = packed
+		if packed != PackedUnreachable {
+			resolved++
+		}
 	}
 	return resolved
 }

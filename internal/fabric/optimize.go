@@ -232,7 +232,7 @@ func (f *Fabric) genFromTable(tbl *core.Table, view *xgft.View, seq uint64, algo
 	for i, fl := range f.pairs.Flows {
 		r := patched.Routes[i]
 		if r.Up == nil {
-			shards[fl.Src][fl.Dst] = unreachablePacked
+			shards[fl.Src][fl.Dst] = PackedUnreachable
 			continue
 		}
 		shards[fl.Src][fl.Dst] = packRoute(r)

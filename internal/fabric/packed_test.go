@@ -1,0 +1,150 @@
+package fabric
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/hashutil"
+	"repro/internal/xgft"
+)
+
+// packedBatchPairs builds a keyed-deterministic batch mixing normal,
+// self and out-of-range pairs — every class ResolveBatchPacked must
+// mirror from ResolveBatch.
+func packedBatchPairs(n, count int, key uint64) [][2]int {
+	st := hashutil.NewStream(0xbead, key)
+	pairs := make([][2]int, count)
+	for i := range pairs {
+		switch st.Intn(8) {
+		case 0:
+			pairs[i] = [2]int{st.Intn(n), st.Intn(n)} // may be self
+		case 1:
+			pairs[i] = [2]int{n + st.Intn(5), st.Intn(n)} // out of range
+		case 2:
+			pairs[i] = [2]int{st.Intn(n), -1 - st.Intn(3)}
+		default:
+			s := st.Intn(n)
+			pairs[i] = [2]int{s, (s + 1 + st.Intn(n-1)) % n}
+		}
+	}
+	return pairs
+}
+
+// TestResolveBatchPackedMatchesResolveBatch proves the packed batch
+// is the same table ResolveBatch serves: same resolved count, and
+// every packed word decodes (PackedNCALevel + AppendPackedUp) to the
+// route ResolveBatch materializes, across healthy and degraded
+// generations.
+func TestResolveBatchPackedMatchesResolveBatch(t *testing.T) {
+	tp := xgft.MustNew(2, []int{8, 8}, []int{1, 4})
+	f, err := New(Config{Topo: tp, Algo: core.NewDModK(tp)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check := func(t *testing.T, key uint64) {
+		t.Helper()
+		n := tp.Leaves()
+		pairs := packedBatchPairs(n, 512, key)
+		routes := make([]xgft.Route, len(pairs))
+		packed := make([]uint64, len(pairs))
+		gen := f.Generation()
+		want := gen.ResolveBatch(pairs, routes)
+		got := gen.ResolveBatchPacked(pairs, packed)
+		if got != want {
+			t.Fatalf("resolved %d packed vs %d materialized", got, want)
+		}
+		for i, p := range pairs {
+			r := routes[i]
+			if r.Up == nil && !(p[0] == p[1] && p[0] >= 0 && p[0] < n) {
+				// Unresolved slot (zeroed route): packed must carry the
+				// unreachable sentinel.
+				if packed[i] != PackedUnreachable {
+					t.Fatalf("pair %v: route unresolved but packed %#x", p, packed[i])
+				}
+				continue
+			}
+			if packed[i] == PackedUnreachable {
+				t.Fatalf("pair %v: resolved route but packed unreachable", p)
+			}
+			if lvl := PackedNCALevel(packed[i]); lvl != len(r.Up) {
+				t.Fatalf("pair %v: packed level %d, route level %d", p, lvl, len(r.Up))
+			}
+			up := AppendPackedUp(packed[i], nil)
+			if len(up) != len(r.Up) {
+				t.Fatalf("pair %v: packed up %v, route up %v", p, up, r.Up)
+			}
+			for j := range up {
+				if up[j] != r.Up[j] {
+					t.Fatalf("pair %v: packed up %v, route up %v", p, up, r.Up)
+				}
+			}
+		}
+	}
+	t.Run("healthy", func(t *testing.T) { check(t, 1) })
+
+	// Isolate leaf 3 (its only level-0 up wire fails), creating real
+	// unreachable pairs, and re-check against the degraded generation.
+	if _, err := f.FailLink(0, 3, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := f.Resolve(3, 5); ok {
+		t.Fatal("leaf 3 still resolves after its only up wire failed")
+	}
+	t.Run("degraded", func(t *testing.T) { check(t, 2) })
+}
+
+// TestResolveBatchPackedTelemetry proves the packed hot path still
+// feeds the flow counters: resolved non-self pairs count, self and
+// unreachable pairs do not.
+func TestResolveBatchPackedTelemetry(t *testing.T) {
+	tp := xgft.MustNew(2, []int{4, 4}, []int{1, 4})
+	f, err := New(Config{Topo: tp, Algo: core.NewDModK(tp), Telemetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := [][2]int{{0, 5}, {0, 5}, {2, 2}, {-1, 3}, {1, 7}}
+	out := make([]uint64, len(pairs))
+	resolved, gen := f.ResolveBatchPacked(pairs, out)
+	if resolved != 4 || gen != 0 {
+		t.Fatalf("resolved %d gen %d, want 4 gen 0", resolved, gen)
+	}
+	tel := f.Telemetry()
+	if c := tel.Count(0, 5); c != 2 {
+		t.Errorf("count(0,5) = %d, want 2", c)
+	}
+	if c := tel.Count(1, 7); c != 1 {
+		t.Errorf("count(1,7) = %d, want 1", c)
+	}
+	if c := tel.Count(2, 2); c != 0 {
+		t.Errorf("self pair counted: %d", c)
+	}
+	if total := tel.Total(); total != 3 {
+		t.Errorf("total %d, want 3", total)
+	}
+}
+
+// TestResolveBatchPackedZeroAllocs pins the wire-speed contract: the
+// packed batch resolve allocates nothing, telemetry on or off.
+func TestResolveBatchPackedZeroAllocs(t *testing.T) {
+	tp := xgft.MustNew(2, []int{8, 8}, []int{1, 8})
+	for _, telemetry := range []bool{false, true} {
+		f, err := New(Config{Topo: tp, Algo: core.NewDModK(tp), Telemetry: telemetry})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := tp.Leaves()
+		pairs := make([][2]int, 256)
+		h := uint64(7)
+		for i := range pairs {
+			h = hashutil.Splitmix64(h)
+			pairs[i] = [2]int{int(h % uint64(n)), int(h >> 32 % uint64(n))}
+		}
+		out := make([]uint64, len(pairs))
+		allocs := testing.AllocsPerRun(100, func() {
+			f.ResolveBatchPacked(pairs, out)
+		})
+		if allocs != 0 {
+			t.Errorf("telemetry=%v: %.1f allocs per packed batch, want 0", telemetry, allocs)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/xgft"
+)
+
+// Unreachable is fabric.PackedUnreachable re-exported, so clients
+// that only inspect packed words need not import the fabric package.
+const Unreachable = fabric.PackedUnreachable
+
+// Client speaks the binary resolve protocol over one connection. It
+// is not safe for concurrent use — the protocol is strict
+// request/response per connection; open one Client per goroutine. All
+// buffers are owned by the client and reused, so a steady stream of
+// equal-size batches performs zero allocations per call.
+type Client struct {
+	conn    net.Conn
+	fr      *FrameReader
+	timeout time.Duration
+	wbuf    []byte
+	packed  []uint64
+	arena   []int
+}
+
+// Dial connects to a binary resolve listener. timeout bounds the
+// dial, every request write and every response read; 0 means
+// DefaultTimeout.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dial %s: %w", addr, err)
+	}
+	return NewClient(conn, timeout), nil
+}
+
+// NewClient wraps an established connection (tests use net.Pipe-like
+// setups). timeout 0 means DefaultTimeout.
+func NewClient(conn net.Conn, timeout time.Duration) *Client {
+	if timeout <= 0 {
+		timeout = DefaultTimeout
+	}
+	return &Client{
+		conn:    conn,
+		fr:      NewFrameReader(bufio.NewReaderSize(conn, 64<<10)),
+		timeout: timeout,
+	}
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// ResolveBatchPacked resolves the batch and returns the serving
+// generation plus one packed word per pair, in request order —
+// fabric.PackedUnreachable for unresolvable slots, otherwise the
+// store's packed encoding (decode with fabric.PackedNCALevel /
+// fabric.AppendPackedUp). The returned slice is reused by the next
+// call.
+func (c *Client) ResolveBatchPacked(pairs [][2]int) (generation uint64, packed []uint64, err error) {
+	c.wbuf, err = AppendResolveRequest(c.wbuf[:0], pairs)
+	if err != nil {
+		return 0, nil, err
+	}
+	c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	if _, err := c.conn.Write(c.wbuf); err != nil {
+		return 0, nil, fmt.Errorf("wire: writing request: %w", err)
+	}
+	c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+	typ, payload, err := c.fr.Read()
+	if err != nil {
+		return 0, nil, err
+	}
+	switch typ {
+	case TypeResolveResponse:
+	case TypeError:
+		re, derr := DecodeError(payload)
+		if derr != nil {
+			return 0, nil, derr
+		}
+		return 0, nil, re
+	default:
+		return 0, nil, fmt.Errorf("wire: unexpected frame type %d in response", typ)
+	}
+	generation, c.packed, err = DecodeResolveResponse(payload, c.packed[:0])
+	if err != nil {
+		return 0, nil, err
+	}
+	if len(c.packed) != len(pairs) {
+		return 0, nil, fmt.Errorf("wire: response carries %d routes for %d pairs", len(c.packed), len(pairs))
+	}
+	return generation, c.packed, nil
+}
+
+// ResolveBatch resolves the batch into materialized routes,
+// mirroring fabric.Generation.ResolveBatch exactly: out[i] is the
+// zero route for unresolvable pairs, the empty route for self pairs,
+// and carries the ascent otherwise; the return value counts resolved
+// pairs. out must be at least as long as pairs. Ascents share one
+// arena owned by the client and reused by the next call.
+func (c *Client) ResolveBatch(pairs [][2]int, out []xgft.Route) (generation uint64, resolved int, err error) {
+	generation, packed, err := c.ResolveBatchPacked(pairs)
+	if err != nil {
+		return 0, 0, err
+	}
+	need := 0
+	for _, p := range packed {
+		if p != fabric.PackedUnreachable {
+			need += fabric.PackedNCALevel(p)
+		}
+	}
+	if cap(c.arena) < need {
+		c.arena = make([]int, need)
+	}
+	arena := c.arena[:0]
+	for i, p := range packed {
+		if p == fabric.PackedUnreachable {
+			out[i] = xgft.Route{}
+			continue
+		}
+		src, dst := pairs[i][0], pairs[i][1]
+		if l := fabric.PackedNCALevel(p); l > 0 {
+			start := len(arena)
+			arena = fabric.AppendPackedUp(p, arena)
+			out[i] = xgft.Route{Src: src, Dst: dst, Up: arena[start:len(arena):len(arena)]}
+		} else {
+			out[i] = xgft.Route{Src: src, Dst: dst}
+		}
+		resolved++
+	}
+	return generation, resolved, nil
+}
+
+// Resolve resolves one pair — the convenience form; batch for
+// throughput.
+func (c *Client) Resolve(src, dst int) (r xgft.Route, generation uint64, ok bool, err error) {
+	var out [1]xgft.Route
+	generation, resolved, err := c.ResolveBatch([][2]int{{src, dst}}, out[:])
+	if err != nil {
+		return xgft.Route{}, 0, false, err
+	}
+	return out[0], generation, resolved == 1, nil
+}

@@ -1,0 +1,113 @@
+package wire
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzFrameReader feeds arbitrary byte streams to the frame reader:
+// it must never panic, never hand back a payload beyond MaxPayload,
+// and never grow its buffer past the protocol bound no matter what
+// lengths the stream declares.
+func FuzzFrameReader(f *testing.F) {
+	req, _ := AppendResolveRequest(nil, [][2]int{{0, 1}, {5, 3}})
+	resp, _ := AppendResolveResponse(nil, 7, []uint64{0, ^uint64(0), 1 << 56})
+	f.Add(req)
+	f.Add(resp)
+	f.Add(AppendError(nil, ErrCodeMalformed, "nope"))
+	f.Add(append(append([]byte{}, req...), resp...)) // two frames back to back
+	f.Add([]byte{0xFA, 0x57, Version, TypeResolveRequest, 0xFF, 0xFF, 0xFF, 0xFF})
+	f.Add([]byte("GET /resolve?src=0&dst=1 HTTP/1.1\r\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		fr := NewFrameReader(bytes.NewReader(data))
+		for {
+			typ, payload, err := fr.Read()
+			if err != nil {
+				if err == io.EOF && len(payload) != 0 {
+					t.Fatalf("EOF with %d payload bytes", len(payload))
+				}
+				break
+			}
+			if typ != TypeResolveRequest && typ != TypeResolveResponse && typ != TypeError {
+				t.Fatalf("reader returned undefined type %d", typ)
+			}
+			if len(payload) > MaxPayload {
+				t.Fatalf("payload %d exceeds MaxPayload %d", len(payload), MaxPayload)
+			}
+			if cap(fr.buf) > MaxPayload {
+				t.Fatalf("reader buffer grew to %d, past MaxPayload %d", cap(fr.buf), MaxPayload)
+			}
+		}
+	})
+}
+
+// FuzzDecodeResolveRequest throws arbitrary payloads at the request
+// decoder: no panic, no over-allocation (accepted batches are bounded
+// by the bytes received), and every accepted payload re-encodes to
+// the identical bytes (the codec is a bijection on valid frames).
+func FuzzDecodeResolveRequest(f *testing.F) {
+	good, _ := AppendResolveRequest(nil, [][2]int{{0, 1}, {1 << 20, 3}})
+	f.Add(good[HeaderSize:])
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0xFF})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		pairs, err := DecodeResolveRequest(payload, nil)
+		if err != nil {
+			return
+		}
+		if len(pairs) > MaxPairs {
+			t.Fatalf("accepted %d pairs past MaxPairs %d", len(pairs), MaxPairs)
+		}
+		if 4+8*len(pairs) != len(payload) {
+			t.Fatalf("accepted %d pairs from %d payload bytes", len(pairs), len(payload))
+		}
+		frame, err := AppendResolveRequest(nil, pairs)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-encode: %v", err)
+		}
+		if !bytes.Equal(frame[HeaderSize:], payload) {
+			t.Fatal("decode/encode round trip changed the payload")
+		}
+	})
+}
+
+// FuzzDecodeResolveResponse is the response-direction twin.
+func FuzzDecodeResolveResponse(f *testing.F) {
+	good, _ := AppendResolveResponse(nil, 3, []uint64{0, ^uint64(0), 2<<56 | 0x0107})
+	f.Add(good[HeaderSize:])
+	f.Add(make([]byte, 12))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		gen, packed, err := DecodeResolveResponse(payload, nil)
+		if err != nil {
+			return
+		}
+		if len(packed) > MaxPairs {
+			t.Fatalf("accepted %d routes past MaxPairs %d", len(packed), MaxPairs)
+		}
+		if 12+8*len(packed) != len(payload) {
+			t.Fatalf("accepted %d routes from %d payload bytes", len(packed), len(payload))
+		}
+		frame, err := AppendResolveResponse(nil, gen, packed)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-encode: %v", err)
+		}
+		if !bytes.Equal(frame[HeaderSize:], payload) {
+			t.Fatal("decode/encode round trip changed the payload")
+		}
+	})
+}
+
+// FuzzDecodeError rounds out the frame types.
+func FuzzDecodeError(f *testing.F) {
+	f.Add(AppendError(nil, ErrCodeOverflow, "too big")[HeaderSize:])
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		re, err := DecodeError(payload)
+		if err != nil {
+			return
+		}
+		if len(re.Msg) > MaxErrorLen {
+			t.Fatalf("accepted %d-byte message past MaxErrorLen %d", len(re.Msg), MaxErrorLen)
+		}
+	})
+}

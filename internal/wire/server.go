@@ -1,0 +1,208 @@
+package wire
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"time"
+)
+
+// DefaultTimeout is the per-frame read/write deadline when
+// Server.Timeout is zero: a peer that stalls mid-frame (slow-loris)
+// or stops draining responses is cut loose instead of pinning a
+// goroutine and its buffers forever.
+const DefaultTimeout = 30 * time.Second
+
+// Resolver is the store a Server fronts: a batch resolve into packed
+// route words, tagged with the generation it was served from.
+// fabric.Fabric implements it.
+type Resolver interface {
+	ResolveBatchPacked(pairs [][2]int, out []uint64) (resolved int, generation uint64)
+}
+
+// Server serves the binary resolve protocol over a listener: one
+// goroutine per connection, each owning a reusable read buffer, pair
+// batch, packed batch and response buffer, so the steady-state
+// request loop performs zero allocations per resolve. Protocol
+// violations get one best-effort error frame and the connection is
+// closed; well-formed traffic is served until the peer disconnects,
+// a deadline expires, or the server closes.
+type Server struct {
+	// Resolver answers the batches. Required.
+	Resolver Resolver
+	// Timeout is the per-frame read deadline and per-response write
+	// deadline; 0 means DefaultTimeout. Tests use short values to
+	// exercise the slow-loris path quickly.
+	Timeout time.Duration
+
+	mu        sync.Mutex
+	listeners map[net.Listener]struct{}
+	conns     map[net.Conn]struct{}
+	closed    bool
+	wg        sync.WaitGroup
+}
+
+// ErrServerClosed is returned by Serve after Close.
+var ErrServerClosed = errors.New("wire: server closed")
+
+func (s *Server) timeout() time.Duration {
+	if s.Timeout > 0 {
+		return s.Timeout
+	}
+	return DefaultTimeout
+}
+
+// track registers a listener or connection for Close; it reports
+// false (and closes nothing) when the server is already closed.
+func (s *Server) track(l net.Listener, c net.Conn) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false
+	}
+	if l != nil {
+		if s.listeners == nil {
+			s.listeners = make(map[net.Listener]struct{})
+		}
+		s.listeners[l] = struct{}{}
+	}
+	if c != nil {
+		if s.conns == nil {
+			s.conns = make(map[net.Conn]struct{})
+		}
+		s.conns[c] = struct{}{}
+	}
+	return true
+}
+
+func (s *Server) untrack(l net.Listener, c net.Conn) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if l != nil {
+		delete(s.listeners, l)
+	}
+	if c != nil {
+		delete(s.conns, c)
+	}
+}
+
+// Serve accepts connections on l until the listener fails or the
+// server is closed. It always closes l before returning.
+func (s *Server) Serve(l net.Listener) error {
+	if s.Resolver == nil {
+		l.Close()
+		return errors.New("wire: Server.Resolver is required")
+	}
+	if !s.track(l, nil) {
+		l.Close()
+		return ErrServerClosed
+	}
+	defer func() {
+		s.untrack(l, nil)
+		l.Close()
+	}()
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closed := s.closed
+			s.mu.Unlock()
+			if closed {
+				return ErrServerClosed
+			}
+			return fmt.Errorf("wire: accept: %w", err)
+		}
+		if !s.track(nil, conn) {
+			conn.Close()
+			return ErrServerClosed
+		}
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			defer s.untrack(nil, conn)
+			s.serveConn(conn)
+		}()
+	}
+}
+
+// Close stops accepting, closes every active connection, and waits
+// for the per-connection goroutines to drain — after Close returns no
+// server goroutine remains.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	for l := range s.listeners {
+		l.Close()
+	}
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+	return nil
+}
+
+// serveConn is the per-connection request loop; every buffer it needs
+// is allocated once here and reused for the connection's lifetime.
+func (s *Server) serveConn(conn net.Conn) {
+	defer conn.Close()
+	timeout := s.timeout()
+	fr := NewFrameReader(bufio.NewReaderSize(conn, 64<<10))
+	pairs := make([][2]int, 0, 1024)
+	packed := make([]uint64, 0, 1024)
+	wbuf := make([]byte, 0, 16<<10)
+	fail := func(code byte, msg string) {
+		// Best-effort: the peer may already be gone, and the
+		// connection closes either way.
+		conn.SetWriteDeadline(time.Now().Add(timeout))
+		conn.Write(AppendError(wbuf[:0], code, msg))
+	}
+	for {
+		conn.SetReadDeadline(time.Now().Add(timeout))
+		typ, payload, err := fr.Read()
+		if err != nil {
+			// A clean close between frames needs no error frame; a
+			// malformed header gets one so the peer can tell protocol
+			// rejection from a network fault.
+			if err == io.EOF {
+				return
+			}
+			code := byte(ErrCodeMalformed)
+			if errors.Is(err, ErrTooLarge) {
+				code = ErrCodeOverflow
+			}
+			fail(code, err.Error())
+			return
+		}
+		if typ != TypeResolveRequest {
+			fail(ErrCodeBadType, fmt.Sprintf("unexpected frame type %d (want resolve request)", typ))
+			return
+		}
+		pairs, err = DecodeResolveRequest(payload, pairs[:0])
+		if err != nil {
+			fail(ErrCodeMalformed, err.Error())
+			return
+		}
+		if cap(packed) < len(pairs) {
+			packed = make([]uint64, len(pairs))
+		}
+		packed = packed[:len(pairs)]
+		_, gen := s.Resolver.ResolveBatchPacked(pairs, packed)
+		wbuf, err = AppendResolveResponse(wbuf[:0], gen, packed)
+		if err != nil {
+			fail(ErrCodeServer, err.Error())
+			return
+		}
+		conn.SetWriteDeadline(time.Now().Add(timeout))
+		if _, err := conn.Write(wbuf); err != nil {
+			return
+		}
+	}
+}

@@ -1,0 +1,382 @@
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/fabric"
+	"repro/internal/hashutil"
+	"repro/internal/xgft"
+)
+
+// startServer runs a Server over a loopback listener and returns its
+// address. Cleanup closes the server and asserts every goroutine it
+// spawned has drained.
+func startServer(t *testing.T, r Resolver, timeout time.Duration) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Resolver: r, Timeout: timeout}
+	before := runtime.NumGoroutine()
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrServerClosed) {
+				t.Errorf("Serve returned %v, want ErrServerClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("Serve did not return after Close")
+		}
+		// Close waits on the per-connection goroutines, so after it
+		// returns the count must be back to (at most) the baseline;
+		// poll briefly to let exiting goroutines be reaped.
+		deadline := time.Now().Add(5 * time.Second)
+		for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if n := runtime.NumGoroutine(); n > before {
+			buf := make([]byte, 1<<20)
+			t.Errorf("goroutine leak: %d before, %d after close\n%s",
+				before, n, buf[:runtime.Stack(buf, true)])
+		}
+	})
+	return l.Addr().String()
+}
+
+func testFabric(t testing.TB, telemetry bool) *fabric.Fabric {
+	t.Helper()
+	tp := xgft.MustNew(2, []int{8, 8}, []int{1, 4})
+	f, err := fabric.New(fabric.Config{Topo: tp, Algo: core.NewDModK(tp), Telemetry: telemetry})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// TestServerResolvesBatches is the basic round trip: batches through
+// a real fabric come back packed, tagged with the serving generation,
+// and decode to the in-process routes.
+func TestServerResolvesBatches(t *testing.T) {
+	f := testFabric(t, true)
+	addr := startServer(t, f, 0)
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	n := f.Topology().Leaves()
+	st := hashutil.NewStream(0x51, 1)
+	pairs := make([][2]int, 777)
+	for i := range pairs {
+		pairs[i] = [2]int{st.Intn(n), st.Intn(n)}
+	}
+	pairs[0] = [2]int{0, 0}     // self
+	pairs[1] = [2]int{n + 3, 1} // out of range
+	want := make([]xgft.Route, len(pairs))
+	wantResolved := f.Generation().ResolveBatch(pairs, want)
+
+	gen, got, err := c.ResolveBatchPacked(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 0 {
+		t.Fatalf("generation %d, want 0", gen)
+	}
+	wantPacked := make([]uint64, len(pairs))
+	f.Generation().ResolveBatchPacked(pairs, wantPacked)
+	for i := range got {
+		if got[i] != wantPacked[i] {
+			t.Fatalf("pair %v: packed %#x over the wire, %#x in process", pairs[i], got[i], wantPacked[i])
+		}
+	}
+
+	// The materializing client API mirrors Generation.ResolveBatch.
+	out := make([]xgft.Route, len(pairs))
+	_, resolved, err := c.ResolveBatch(pairs, out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resolved != wantResolved {
+		t.Fatalf("resolved %d over the wire, %d in process", resolved, wantResolved)
+	}
+	for i := range out {
+		if fmt.Sprint(out[i]) != fmt.Sprint(want[i]) {
+			t.Fatalf("pair %v: route %v over the wire, %v in process", pairs[i], out[i], want[i])
+		}
+	}
+
+	// The binary path feeds telemetry like the in-process one: the
+	// fabric recorded both passes over the wire plus the two local
+	// ResolveBatch* calls above.
+	if total := f.Telemetry().Total(); total == 0 {
+		t.Error("binary resolves did not reach telemetry")
+	}
+
+	// Single-pair convenience API.
+	r, _, ok, err := c.Resolve(0, n-1)
+	if err != nil || !ok {
+		t.Fatalf("resolve(0,%d): ok %v err %v", n-1, ok, err)
+	}
+	if !r.VerifyConnects(f.Topology()) {
+		t.Fatalf("resolved route %v does not connect", r)
+	}
+}
+
+// TestServerSurvivesManyConnections exercises connect/resolve/close
+// churn; the startServer cleanup asserts no goroutine outlives it.
+func TestServerSurvivesManyConnections(t *testing.T) {
+	f := testFabric(t, false)
+	addr := startServer(t, f, 0)
+	for i := 0; i < 20; i++ {
+		c, err := Dial(addr, 2*time.Second)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, _, err := c.ResolveBatchPacked([][2]int{{0, i % 8}}); err != nil {
+			t.Fatal(err)
+		}
+		c.Close()
+	}
+}
+
+// dialRaw opens a raw connection for malformed-input tests.
+func dialRaw(t *testing.T, addr string) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { conn.Close() })
+	return conn
+}
+
+// expectErrorThenClose asserts the server answers with one error
+// frame carrying the code and then closes the connection.
+func expectErrorThenClose(t *testing.T, conn net.Conn, wantCode byte) {
+	t.Helper()
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	fr := NewFrameReader(conn)
+	typ, payload, err := fr.Read()
+	if err != nil {
+		t.Fatalf("reading error frame: %v", err)
+	}
+	if typ != TypeError {
+		t.Fatalf("frame type %d, want error", typ)
+	}
+	re, err := DecodeError(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Code != wantCode {
+		t.Fatalf("error code %d (%s), want %d", re.Code, re.Msg, wantCode)
+	}
+	if _, _, err := fr.Read(); err == nil {
+		t.Fatal("connection still open after protocol error")
+	}
+}
+
+func TestServerRejectsOversizedFrame(t *testing.T) {
+	addr := startServer(t, testFabric(t, false), 0)
+	conn := dialRaw(t, addr)
+	hdr := AppendHeader(nil, TypeResolveRequest, 0)
+	binary.BigEndian.PutUint32(hdr[4:8], MaxPayload+1)
+	if _, err := conn.Write(hdr); err != nil {
+		t.Fatal(err)
+	}
+	expectErrorThenClose(t, conn, ErrCodeOverflow)
+}
+
+func TestServerRejectsWrongVersion(t *testing.T) {
+	addr := startServer(t, testFabric(t, false), 0)
+	conn := dialRaw(t, addr)
+	frame, err := AppendResolveRequest(nil, [][2]int{{0, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	frame[2] = Version + 1
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	expectErrorThenClose(t, conn, ErrCodeMalformed)
+}
+
+func TestServerRejectsBadMagicAndType(t *testing.T) {
+	addr := startServer(t, testFabric(t, false), 0)
+	conn := dialRaw(t, addr)
+	if _, err := conn.Write([]byte("GET /resolve?src=0&dst=1")); err != nil {
+		t.Fatal(err)
+	}
+	expectErrorThenClose(t, conn, ErrCodeMalformed)
+
+	// A well-formed frame of the wrong type (a response sent to the
+	// server) is refused with a distinct code.
+	conn2 := dialRaw(t, addr)
+	frame, err := AppendResolveResponse(nil, 0, []uint64{1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn2.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	expectErrorThenClose(t, conn2, ErrCodeBadType)
+}
+
+func TestServerRejectsCountMismatch(t *testing.T) {
+	addr := startServer(t, testFabric(t, false), 0)
+	conn := dialRaw(t, addr)
+	// Declare 4 pairs, carry 1.
+	payload := binary.BigEndian.AppendUint32(nil, 4)
+	payload = append(payload, make([]byte, 8)...)
+	frame := AppendHeader(nil, TypeResolveRequest, len(payload))
+	frame = append(frame, payload...)
+	if _, err := conn.Write(frame); err != nil {
+		t.Fatal(err)
+	}
+	expectErrorThenClose(t, conn, ErrCodeMalformed)
+}
+
+// TestServerCutsSlowLoris proves the per-frame read deadline: a peer
+// that sends half a header and stalls is disconnected instead of
+// pinning its goroutine (the cleanup's leak check is the teeth).
+func TestServerCutsSlowLoris(t *testing.T) {
+	addr := startServer(t, testFabric(t, false), 200*time.Millisecond)
+	conn := dialRaw(t, addr)
+	if _, err := conn.Write([]byte{0xFA, 0x57, Version}); err != nil { // 3 of 8 header bytes
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	// The server times out reading the rest of the header and closes;
+	// depending on timing we see its error frame first or a bare
+	// close, but the connection must die either way.
+	deadline := time.Now().Add(5 * time.Second)
+	buf := make([]byte, 256)
+	for time.Now().Before(deadline) {
+		if _, err := conn.Read(buf); err != nil {
+			return // closed — the deadline fired
+		}
+	}
+	t.Fatal("connection survived a stalled header past the read deadline")
+}
+
+// TestServerCutsStalledBody is the payload-phase slow-loris: a valid
+// header whose payload never arrives.
+func TestServerCutsStalledBody(t *testing.T) {
+	addr := startServer(t, testFabric(t, false), 200*time.Millisecond)
+	conn := dialRaw(t, addr)
+	if _, err := conn.Write(AppendHeader(nil, TypeResolveRequest, 4+8*16)); err != nil {
+		t.Fatal(err)
+	}
+	conn.SetReadDeadline(time.Now().Add(5 * time.Second))
+	deadline := time.Now().Add(5 * time.Second)
+	buf := make([]byte, 256)
+	for time.Now().Before(deadline) {
+		if _, err := conn.Read(buf); err != nil {
+			return
+		}
+	}
+	t.Fatal("connection survived a stalled payload past the read deadline")
+}
+
+// TestServerSteadyStateAllocs pins the zero-allocation claim
+// end-to-end: after warmup, repeated equal-size batches through the
+// full server loop allocate nothing on the server side beyond what
+// the kernel I/O costs. Run on the serveConn internals via a
+// pipe-free loopback connection with allocation sampling around the
+// resolver, since testing.AllocsPerRun cannot isolate another
+// goroutine; instead we assert the resolver-facing path (codec +
+// fabric) is allocation-free and rely on serveConn's buffer reuse,
+// which TestServerResolvesBatches exercises for correctness.
+func TestServerSteadyStateAllocs(t *testing.T) {
+	f := testFabric(t, true)
+	pairs := testPairs(512, 9)
+	n := f.Topology().Leaves()
+	for i := range pairs {
+		pairs[i] = [2]int{pairs[i][0] % n, pairs[i][1] % n}
+	}
+	packed := make([]uint64, len(pairs))
+	wbuf := make([]byte, 0, 16<<10)
+	pairsBuf := make([][2]int, 0, len(pairs))
+	var frame []byte
+	frame, err := AppendResolveRequest(frame, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(200, func() {
+		// The per-request server work: decode, resolve, encode.
+		var err error
+		pairsBuf, err = DecodeResolveRequest(frame[HeaderSize:], pairsBuf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, gen := f.ResolveBatchPacked(pairsBuf, packed)
+		wbuf, err = AppendResolveResponse(wbuf[:0], gen, packed)
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("%.1f allocs per served batch, want 0", allocs)
+	}
+}
+
+func TestServeRequiresResolver(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{}
+	if err := srv.Serve(l); err == nil || !strings.Contains(err.Error(), "Resolver") {
+		t.Fatalf("Serve without resolver: %v", err)
+	}
+}
+
+func TestServeAfterCloseRefuses(t *testing.T) {
+	srv := &Server{Resolver: testFabric(t, false)}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Serve(l); !errors.Is(err, ErrServerClosed) {
+		t.Fatalf("Serve after Close: %v, want ErrServerClosed", err)
+	}
+}
+
+// TestClientReportsRemoteError proves the client surfaces a server
+// error frame as *RemoteError.
+func TestClientReportsRemoteError(t *testing.T) {
+	addr := startServer(t, testFabric(t, false), 0)
+	conn, err := net.DialTimeout("tcp", addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewClient(conn, 2*time.Second)
+	defer c.Close()
+	// Poison the connection with a raw malformed frame, then observe
+	// the error response through the client.
+	if _, err := conn.Write([]byte{0xde, 0xad, 0xbe, 0xef, 0, 0, 0, 0}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err = c.ResolveBatchPacked([][2]int{{0, 1}})
+	var re *RemoteError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v, want *RemoteError", err)
+	}
+}

@@ -1,0 +1,246 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"repro/internal/hashutil"
+)
+
+// testPairs builds a keyed-deterministic batch.
+func testPairs(count int, key uint64) [][2]int {
+	st := hashutil.NewStream(0x3142, key)
+	pairs := make([][2]int, count)
+	for i := range pairs {
+		pairs[i] = [2]int{st.Intn(1 << 20), st.Intn(1 << 20)}
+	}
+	return pairs
+}
+
+func TestResolveRequestRoundTrip(t *testing.T) {
+	for _, count := range []int{0, 1, 7, 1024} {
+		pairs := testPairs(count, uint64(count))
+		frame, err := AppendResolveRequest(nil, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		typ, n, err := ParseHeader(frame)
+		if err != nil || typ != TypeResolveRequest || n != len(frame)-HeaderSize {
+			t.Fatalf("header: typ %d len %d err %v", typ, n, err)
+		}
+		got, err := DecodeResolveRequest(frame[HeaderSize:], nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(pairs) {
+			t.Fatalf("decoded %d pairs, want %d", len(got), len(pairs))
+		}
+		for i := range got {
+			if got[i] != pairs[i] {
+				t.Fatalf("pair %d: %v != %v", i, got[i], pairs[i])
+			}
+		}
+	}
+}
+
+func TestResolveResponseRoundTrip(t *testing.T) {
+	packed := []uint64{0, 1<<56 | 3, ^uint64(0), 2<<56 | 0x0102}
+	frame, err := AppendResolveResponse(nil, 42, packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, n, err := ParseHeader(frame)
+	if err != nil || typ != TypeResolveResponse || n != len(frame)-HeaderSize {
+		t.Fatalf("header: typ %d len %d err %v", typ, n, err)
+	}
+	gen, got, err := DecodeResolveResponse(frame[HeaderSize:], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 42 || len(got) != len(packed) {
+		t.Fatalf("gen %d routes %d, want 42 %d", gen, len(got), len(packed))
+	}
+	for i := range got {
+		if got[i] != packed[i] {
+			t.Fatalf("route %d: %#x != %#x", i, got[i], packed[i])
+		}
+	}
+}
+
+func TestErrorRoundTrip(t *testing.T) {
+	frame := AppendError(nil, ErrCodeBadVersion, "speak version 1")
+	typ, _, err := ParseHeader(frame)
+	if err != nil || typ != TypeError {
+		t.Fatalf("header: typ %d err %v", typ, err)
+	}
+	re, err := DecodeError(frame[HeaderSize:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Code != ErrCodeBadVersion || re.Msg != "speak version 1" {
+		t.Fatalf("decoded %+v", re)
+	}
+	if !strings.Contains(re.Error(), "speak version 1") {
+		t.Fatalf("RemoteError.Error() = %q", re.Error())
+	}
+	// Oversized messages truncate instead of failing.
+	long := AppendError(nil, ErrCodeServer, strings.Repeat("x", 2*MaxErrorLen))
+	re, err = DecodeError(long[HeaderSize:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(re.Msg) != MaxErrorLen {
+		t.Fatalf("truncated message %d bytes, want %d", len(re.Msg), MaxErrorLen)
+	}
+}
+
+func TestParseHeaderRejects(t *testing.T) {
+	good, err := AppendResolveRequest(nil, [][2]int{{1, 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mutate := func(f func(h []byte)) []byte {
+		h := append([]byte(nil), good[:HeaderSize]...)
+		f(h)
+		return h
+	}
+	cases := []struct {
+		name string
+		hdr  []byte
+	}{
+		{"short", good[:HeaderSize-1]},
+		{"bad magic", mutate(func(h []byte) { h[0] = 0x00 })},
+		{"bad version", mutate(func(h []byte) { h[2] = Version + 1 })},
+		{"bad type", mutate(func(h []byte) { h[3] = 99 })},
+		{"oversized", mutate(func(h []byte) { binary.BigEndian.PutUint32(h[4:8], MaxPayload+1) })},
+	}
+	for _, c := range cases {
+		if _, _, err := ParseHeader(c.hdr); err == nil {
+			t.Errorf("%s: header accepted", c.name)
+		}
+	}
+	if _, _, err := ParseHeader(mutate(func(h []byte) { binary.BigEndian.PutUint32(h[4:8], MaxPayload+1) })); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized header error %v, want ErrTooLarge", err)
+	}
+}
+
+func TestDecodeRejectsMalformedPayloads(t *testing.T) {
+	if _, err := DecodeResolveRequest([]byte{1, 2}, nil); err == nil {
+		t.Error("short request payload accepted")
+	}
+	// Declared count does not match carried bytes.
+	bad := binary.BigEndian.AppendUint32(nil, 3)
+	bad = append(bad, make([]byte, 8)...) // one pair, not three
+	if _, err := DecodeResolveRequest(bad, nil); err == nil {
+		t.Error("count/length mismatch accepted")
+	}
+	// Count beyond MaxPairs is rejected before any allocation.
+	huge := binary.BigEndian.AppendUint32(nil, MaxPairs+1)
+	if _, err := DecodeResolveRequest(huge, nil); !errors.Is(err, ErrTooLarge) {
+		t.Errorf("oversized request count: %v, want ErrTooLarge", err)
+	}
+	if _, _, err := DecodeResolveResponse([]byte{1}, nil); err == nil {
+		t.Error("short response payload accepted")
+	}
+	badResp := binary.BigEndian.AppendUint64(nil, 7)
+	badResp = binary.BigEndian.AppendUint32(badResp, 2)
+	badResp = append(badResp, make([]byte, 8)...) // one word, not two
+	if _, _, err := DecodeResolveResponse(badResp, nil); err == nil {
+		t.Error("response count/length mismatch accepted")
+	}
+	if _, err := DecodeError(nil); err == nil {
+		t.Error("empty error payload accepted")
+	}
+}
+
+func TestAppendRejectsUnencodable(t *testing.T) {
+	if _, err := AppendResolveRequest(nil, [][2]int{{-1, 0}}); err == nil {
+		t.Error("negative src accepted")
+	}
+	if _, err := AppendResolveRequest(nil, make([][2]int, MaxPairs+1)); !errors.Is(err, ErrTooLarge) {
+		t.Error("oversized batch accepted")
+	}
+	if _, err := AppendResolveResponse(nil, 0, make([]uint64, MaxPairs+1)); !errors.Is(err, ErrTooLarge) {
+		t.Error("oversized response accepted")
+	}
+}
+
+func TestFrameReaderSequentialFrames(t *testing.T) {
+	var stream []byte
+	stream, err := AppendResolveRequest(stream, testPairs(3, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream, err = AppendResolveResponse(stream, 9, []uint64{1, 2, 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream = AppendError(stream, ErrCodeServer, "done")
+	fr := NewFrameReader(bytes.NewReader(stream))
+	wantTypes := []byte{TypeResolveRequest, TypeResolveResponse, TypeError}
+	for i, want := range wantTypes {
+		typ, _, err := fr.Read()
+		if err != nil || typ != want {
+			t.Fatalf("frame %d: typ %d err %v, want %d", i, typ, err, want)
+		}
+	}
+	if _, _, err := fr.Read(); err != io.EOF {
+		t.Fatalf("after last frame: %v, want io.EOF", err)
+	}
+}
+
+func TestFrameReaderTruncatedFrame(t *testing.T) {
+	frame, err := AppendResolveRequest(nil, testPairs(4, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut mid-payload and mid-header.
+	for _, cut := range []int{HeaderSize + 3, HeaderSize - 2} {
+		fr := NewFrameReader(bytes.NewReader(frame[:cut]))
+		if _, _, err := fr.Read(); err == nil || err == io.EOF {
+			t.Fatalf("cut at %d: err %v, want unexpected-EOF error", cut, err)
+		}
+	}
+}
+
+// TestCodecSteadyStateAllocs pins the hot-path contract: with reused
+// buffers, one encode+decode cycle of each direction allocates
+// nothing.
+func TestCodecSteadyStateAllocs(t *testing.T) {
+	pairs := testPairs(256, 3)
+	packed := make([]uint64, 256)
+	var frame []byte
+	pairsBuf := make([][2]int, 0, 256)
+	packedBuf := make([]uint64, 0, 256)
+	// Warm the frame buffer.
+	frame, err := AppendResolveRequest(frame[:0], pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		var err error
+		frame, err = AppendResolveRequest(frame[:0], pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pairsBuf, err = DecodeResolveRequest(frame[HeaderSize:], pairsBuf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame, err = AppendResolveResponse(frame[:0], 1, packed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, packedBuf, err = DecodeResolveResponse(frame[HeaderSize:], packedBuf[:0])
+		if err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("%.1f allocs per codec cycle, want 0", allocs)
+	}
+}
