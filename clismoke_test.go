@@ -3,6 +3,8 @@ package repro_test
 import (
 	"bufio"
 	"bytes"
+	"io"
+	"net/http"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -105,6 +107,84 @@ func TestCLISmoke(t *testing.T) {
 		}
 		if !strings.Contains(out.String(), "resolves/s") || !strings.Contains(out.String(), "batch RTT p50") {
 			t.Fatalf("resolveload did not report rate and latency:\n%s", out.String())
+		}
+	})
+
+	// Observability round trip: fabricd serving HTTP on an ephemeral
+	// port, scraped by curl-equivalent GETs and rendered once by
+	// fabrictop — the operator's introspection loop as real
+	// subprocesses.
+	t.Run("fabricd+fabrictop", func(t *testing.T) {
+		daemon := exec.Command(filepath.Join(bin, "fabricd"),
+			"-xgft", "2;8,8;1,4", "-addr", "127.0.0.1:0")
+		stdout, err := daemon.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		daemon.Stderr = &bytes.Buffer{}
+		if err := daemon.Start(); err != nil {
+			t.Fatalf("starting fabricd: %v", err)
+		}
+		defer func() {
+			daemon.Process.Kill()
+			daemon.Wait()
+		}()
+
+		// fabricd announces "serving <topo> under <algo> on <addr>
+		// (scheduler policy <p>)" once the listener is bound.
+		var httpAddr string
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if !strings.HasPrefix(line, "fabricd: serving ") {
+				continue
+			}
+			if i, j := strings.LastIndex(line, " on "), strings.LastIndex(line, " (scheduler"); i >= 0 && j > i {
+				httpAddr = line[i+len(" on ") : j]
+			}
+			break
+		}
+		if httpAddr == "" {
+			t.Fatalf("fabricd never announced the http listener (scan error %v)", sc.Err())
+		}
+
+		get := func(path string) string {
+			resp, err := http.Get("http://" + httpAddr + path)
+			if err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatalf("GET %s: reading body: %v", path, err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, body)
+			}
+			return string(body)
+		}
+		if body := get("/healthz"); !strings.Contains(body, `"status":"ok"`) {
+			t.Fatalf("/healthz not ready:\n%s", body)
+		}
+		if body := get("/metrics"); !strings.Contains(body, "fabric_resolves_total") ||
+			!strings.Contains(body, "sched_jobs") {
+			t.Fatalf("/metrics lacks the fabric and sched instruments:\n%s", body)
+		}
+		if body := get("/events"); !strings.Contains(body, `"generation.swap"`) {
+			t.Fatalf("/events lacks the initial swap:\n%s", body)
+		}
+
+		var out, errs bytes.Buffer
+		top := exec.Command(filepath.Join(bin, "fabrictop"), "-addr", httpAddr, "-once")
+		top.Stdout = &out
+		top.Stderr = &errs
+		if err := top.Run(); err != nil {
+			t.Fatalf("fabrictop: %v\nstdout:\n%s\nstderr:\n%s", err, out.String(), errs.String())
+		}
+		for _, want := range []string{"fabric", "sched", "generation.swap"} {
+			if !strings.Contains(out.String(), want) {
+				t.Fatalf("fabrictop frame lacks %q:\n%s", want, out.String())
+			}
 		}
 	})
 

@@ -91,12 +91,13 @@ func diffPairs(n, count int, key uint64, outOfRange bool) [][2]int {
 // /resolve answers agree pair by pair — on the healthy generation
 // and again on a degraded one with real unreachable pairs.
 func TestDifferentialResolvePaths(t *testing.T) {
-	f, s, err := build("2;8,8;1,4", "d-mod-k", "linear", "analytic", 1, true)
+	d, err := build("2;8,8;1,4", "d-mod-k", "linear", "analytic", 1, true, nil, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
+	f := d.f
 	wc := startWire(t, f)
-	hs := httptest.NewServer(newMux(f, s, 0))
+	hs := httptest.NewServer(newMux(d, 0, false))
 	defer hs.Close()
 	n := f.Topology().Leaves()
 
@@ -183,10 +184,11 @@ func TestDifferentialResolvePaths(t *testing.T) {
 // when no swap happened around the request, byte-identical to the
 // in-process packed resolve of that exact generation.
 func TestDifferentialUnderGenerationSwaps(t *testing.T) {
-	f, _, err := build("2;8,8;1,4", "d-mod-k", "linear", "analytic", 1, true)
+	d, err := build("2;8,8;1,4", "d-mod-k", "linear", "analytic", 1, true, nil, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
+	f := d.f
 	n := f.Topology().Leaves()
 
 	// Seed skewed telemetry so Optimize has something to chew on.

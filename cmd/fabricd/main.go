@@ -42,7 +42,23 @@
 //	POST /fail-link?level=L&index=I&port=P
 //	POST /fail-switch?level=L&index=I
 //	POST /heal                     recompile the healthy table
-//	GET  /healthz                  liveness
+//	GET  /healthz                  liveness + readiness (generation age,
+//	                               last optimize outcome, wire listener; 503
+//	                               until a generation is published)
+//	GET  /metrics                  Prometheus text exposition (internal/obs)
+//	GET  /events?n=                control-plane event journal tail
+//	GET  /wire                     binary-listener per-connection stats
+//
+// With -pprof the net/http/pprof handlers are additionally served
+// under /debug/pprof/ on the HTTP listener.
+//
+// Logging is structured (log/slog) on stderr; -log-format selects
+// text (default) or json. Every journal event (generation swaps,
+// faults, optimize decisions, job lifecycle) is also streamed to the
+// logger, so a daemon's stderr is a complete control-plane history
+// even after the in-memory ring wraps. The two stdout announcement
+// lines ("binary resolve protocol on ...", "serving ... on ...") are
+// plain prints — scripted clients parse them.
 //
 // Query parameters are bounds-checked against the topology: negative
 // or out-of-range src/dst/level/index/port/n values are rejected with
@@ -68,17 +84,21 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/core"
 	"repro/internal/evaluate"
 	"repro/internal/fabric"
 	"repro/internal/hashutil"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/sched"
 	"repro/internal/wire"
@@ -87,106 +107,170 @@ import (
 
 func main() {
 	var (
-		spec      = flag.String("xgft", "2;16,16;1,16", `topology as "h;m1,..;w1,.."`)
-		algo      = flag.String("algo", "d-mod-k", "routing scheme: "+strings.Join(core.AlgorithmNames(), ", "))
-		seed      = flag.Uint64("seed", 1, "seed for randomized schemes")
-		addr      = flag.String("addr", ":7420", "HTTP listen address")
-		telemetry = flag.Bool("telemetry", true, "count per-pair flows on the resolve path")
-		reopt     = flag.Duration("reoptimize", 0, "periodic re-optimization interval (0 = only on POST /optimize)")
-		threshold = flag.Float64("threshold", 0.05, "minimum relative slowdown improvement required to swap tables")
-		policy    = flag.String("sched", "linear", "job placement policy: "+strings.Join(sched.PolicyNames(), ", "))
-		backend   = flag.String("evaluator", "analytic", "routing-quality scoring backend: "+strings.Join(evaluate.Names(), ", "))
-		binAddr   = flag.String("listen-binary", "", "TCP listen address for the binary resolve protocol (internal/wire); empty disables it")
-		demo      = flag.Bool("demo", false, "run a scripted failure/heal/re-optimize/schedule cycle and exit (no server)")
+		spec       = flag.String("xgft", "2;16,16;1,16", `topology as "h;m1,..;w1,.."`)
+		algo       = flag.String("algo", "d-mod-k", "routing scheme: "+strings.Join(core.AlgorithmNames(), ", "))
+		seed       = flag.Uint64("seed", 1, "seed for randomized schemes")
+		addr       = flag.String("addr", ":7420", "HTTP listen address")
+		telemetry  = flag.Bool("telemetry", true, "count per-pair flows on the resolve path")
+		reopt      = flag.Duration("reoptimize", 0, "periodic re-optimization interval (0 = only on POST /optimize)")
+		threshold  = flag.Float64("threshold", 0.05, "minimum relative slowdown improvement required to swap tables")
+		policy     = flag.String("sched", "linear", "job placement policy: "+strings.Join(sched.PolicyNames(), ", "))
+		backend    = flag.String("evaluator", "analytic", "routing-quality scoring backend: "+strings.Join(evaluate.Names(), ", "))
+		binAddr    = flag.String("listen-binary", "", "TCP listen address for the binary resolve protocol (internal/wire); empty disables it")
+		demo       = flag.Bool("demo", false, "run a scripted failure/heal/re-optimize/schedule cycle and exit (no server)")
+		logFormat  = flag.String("log-format", "text", "structured log format: text or json")
+		journalCap = flag.Int("journal", 1024, "control-plane event journal capacity (ring entries)")
+		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the HTTP listener")
 	)
 	flag.Parse()
 
-	f, s, err := build(*spec, *algo, *policy, *backend, *seed, *telemetry || *demo)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "fabricd:", err)
+	var handler slog.Handler
+	switch *logFormat {
+	case "text":
+		handler = slog.NewTextHandler(os.Stderr, nil)
+	case "json":
+		handler = slog.NewJSONHandler(os.Stderr, nil)
+	default:
+		fmt.Fprintf(os.Stderr, "fabricd: bad -log-format %q (want text or json)\n", *logFormat)
 		os.Exit(2)
 	}
+	logger := slog.New(handler)
+	fatal := func(msg string, err error) {
+		logger.Error(msg, "error", err)
+		os.Exit(2)
+	}
+
+	d, err := build(*spec, *algo, *policy, *backend, *seed, *telemetry || *demo, logger, *journalCap)
+	if err != nil {
+		fatal("startup failed", err)
+	}
 	if *demo {
-		if err := runDemo(f, s, *threshold); err != nil {
-			fmt.Fprintln(os.Stderr, "fabricd:", err)
-			os.Exit(2)
+		if err := runDemo(d.f, d.s, *threshold); err != nil {
+			fatal("demo failed", err)
 		}
 		return
 	}
 	if *reopt > 0 {
 		if !*telemetry {
-			fmt.Fprintln(os.Stderr, "fabricd: -reoptimize needs -telemetry")
-			os.Exit(2)
+			fatal("flag conflict", fmt.Errorf("-reoptimize needs -telemetry"))
 		}
-		go reoptimizeLoop(f, *reopt, *threshold)
+		go d.reoptimizeLoop(*reopt, *threshold)
 	}
 	// Bind before announcing so the printed addresses are the real
 	// (possibly :0-assigned) ones — the CLI smoke test and scripted
 	// clients parse them.
 	httpL, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "fabricd:", err)
-		os.Exit(2)
+		fatal("http listen failed", err)
 	}
 	if *binAddr != "" {
 		binL, err := net.Listen("tcp", *binAddr)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, "fabricd:", err)
-			os.Exit(2)
+			fatal("binary listen failed", err)
 		}
-		srv := &wire.Server{Resolver: f}
+		srv := &wire.Server{Resolver: d.f, Metrics: d.reg}
+		d.wsrv = srv
+		d.wireAddr = binL.Addr().String()
 		fmt.Printf("fabricd: binary resolve protocol on %s\n", binL.Addr())
 		go func() {
 			if err := srv.Serve(binL); err != nil {
-				fmt.Fprintln(os.Stderr, "fabricd: binary listener:", err)
-				os.Exit(2)
+				fatal("binary listener failed", err)
 			}
 		}()
 	}
-	fmt.Printf("fabricd: serving %s under %s on %s (scheduler policy %s)\n", f.Topology(), *algo, httpL.Addr(), s.Policy())
-	if err := http.Serve(httpL, newMux(f, s, *threshold)); err != nil {
-		fmt.Fprintln(os.Stderr, "fabricd:", err)
-		os.Exit(2)
+	fmt.Printf("fabricd: serving %s under %s on %s (scheduler policy %s)\n", d.f.Topology(), *algo, httpL.Addr(), d.s.Policy())
+	logger.Info("fabricd serving",
+		"topology", d.f.Topology().String(), "algo", *algo,
+		"addr", httpL.Addr().String(), "policy", d.s.Policy(),
+		"evaluator", d.f.Evaluator().Name(), "pprof", *pprofOn)
+	if err := http.Serve(httpL, newMux(d, *threshold, *pprofOn)); err != nil {
+		fatal("http server failed", err)
 	}
 }
 
-func build(spec, algoName, policyName, evalName string, seed uint64, telemetry bool) (*fabric.Fabric, *sched.Scheduler, error) {
+// optimizeOutcome is the last optimize pass's result as /healthz
+// reports it.
+type optimizeOutcome struct {
+	Time     time.Time `json:"time"`
+	Swapped  bool      `json:"swapped"`
+	Best     string    `json:"best,omitempty"`
+	Current  float64   `json:"current_slowdown,omitempty"`
+	BestSlow float64   `json:"best_slowdown,omitempty"`
+	Err      string    `json:"error,omitempty"`
+}
+
+// daemon bundles the serving pieces: the fabric, the scheduler that
+// owns its pool, and the observability spine (metrics registry plus
+// event journal) every layer records into.
+type daemon struct {
+	f        *fabric.Fabric
+	s        *sched.Scheduler
+	reg      *obs.Registry
+	jnl      *obs.Journal
+	wsrv     *wire.Server // nil when -listen-binary is off
+	wireAddr string
+	started  time.Time
+	lastOpt  atomic.Pointer[optimizeOutcome]
+}
+
+// recordOptimize stamps the pass outcome /healthz reports.
+func (d *daemon) recordOptimize(res fabric.OptimizeResult, err error) {
+	out := &optimizeOutcome{Time: time.Now()}
+	if err != nil {
+		out.Err = err.Error()
+	} else {
+		out.Swapped = res.Swapped
+		out.Best = res.Best
+		out.Current = res.Current
+		out.BestSlow = res.BestSlowdown
+	}
+	d.lastOpt.Store(out)
+}
+
+func build(spec, algoName, policyName, evalName string, seed uint64, telemetry bool, logger *slog.Logger, journalCap int) (*daemon, error) {
 	tp, err := xgft.Parse(spec)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	algo, err := core.NewByName(algoName, tp, seed, nil)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	policy, err := sched.PolicyByName(policyName)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	// The fabric, the optimizer's candidate builds and the evaluator
 	// share one table cache; the chosen backend is wrapped in a
 	// memoizing CachedEvaluator so re-optimization rounds over a
-	// stable observed pattern never re-score.
+	// stable observed pattern never re-score. Every layer shares one
+	// metrics registry and one event journal.
+	reg := obs.NewRegistry()
+	jnl := obs.NewJournal(journalCap, logger)
 	cache := core.NewTableCache(16)
 	backend, err := evaluate.New(evalName, evaluate.Options{Cache: cache})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
+	cached := evaluate.NewCached(backend, 256)
+	cached.Instrument(reg)
 	f, err := fabric.New(fabric.Config{
 		Topo:      tp,
 		Algo:      algo,
 		Cache:     cache,
 		Telemetry: telemetry,
-		Evaluator: evaluate.NewCached(backend, 256),
+		Evaluator: cached,
+		Metrics:   reg,
+		Journal:   jnl,
 	})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	s, err := sched.New(sched.Config{Fabric: f, Policy: policy, Seed: seed})
+	s, err := sched.New(sched.Config{Fabric: f, Policy: policy, Seed: seed, Metrics: reg, Journal: jnl})
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
-	return f, s, nil
+	return &daemon{f: f, s: s, reg: reg, jnl: jnl, started: time.Now()}, nil
 }
 
 // jobSpec builds a submission from the job endpoint's parameters: a
@@ -228,16 +312,20 @@ func jobSpec(name, app string, n int, bytes int64, seed uint64) (sched.JobSpec, 
 
 // reoptimizeLoop periodically re-fits the table to the traffic
 // observed since the previous pass, logging installed swaps.
-func reoptimizeLoop(f *fabric.Fabric, every time.Duration, threshold float64) {
+func (d *daemon) reoptimizeLoop(every time.Duration, threshold float64) {
+	logger := d.jnl.Logger()
 	cfg := fabric.OptimizeConfig{Threshold: threshold, Reset: true}
 	for range time.Tick(every) {
-		res, err := f.Optimize(cfg)
+		res, err := d.f.Optimize(cfg)
+		d.recordOptimize(res, err)
 		switch {
 		case err != nil:
-			fmt.Fprintln(os.Stderr, "fabricd: reoptimize:", err)
+			logger.Error("reoptimize failed", "error", err)
 		case res.Swapped:
-			fmt.Printf("fabricd: reoptimized to %s (slowdown %.3f -> %.3f over %d pairs), generation %d\n",
-				res.Best, res.Current, res.BestSlowdown, res.Pairs, res.Stats.Seq)
+			logger.Info("reoptimized",
+				"best", res.Best, "current_slowdown", res.Current,
+				"best_slowdown", res.BestSlowdown, "pairs", res.Pairs,
+				"generation", res.Stats.Seq)
 		}
 	}
 }
@@ -360,7 +448,8 @@ func intArgIn(r *http.Request, name string, lo, hi int) (int, error) {
 	return v, nil
 }
 
-func newMux(f *fabric.Fabric, s *sched.Scheduler, threshold float64) *http.ServeMux {
+func newMux(d *daemon, threshold float64, pprofOn bool) *http.ServeMux {
+	f, s := d.f, d.s
 	tp := f.Topology()
 	mux := http.NewServeMux()
 	reply := func(w http.ResponseWriter, code int, v any) {
@@ -377,6 +466,9 @@ func newMux(f *fabric.Fabric, s *sched.Scheduler, threshold float64) *http.Serve
 	// routing table serving, it does not undo the allocation.
 	reoptimize := func(resp map[string]any) {
 		res, ran, err := s.Reoptimize(threshold)
+		if ran || err != nil {
+			d.recordOptimize(res, err)
+		}
 		switch {
 		case err != nil:
 			resp["optimize"] = nil
@@ -448,8 +540,72 @@ func newMux(f *fabric.Fabric, s *sched.Scheduler, threshold float64) *http.Serve
 		reply(w, http.StatusOK, resp)
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		reply(w, http.StatusOK, map[string]uint64{"generation": f.Stats().Seq})
+		// Liveness plus readiness: a daemon whose store never
+		// published a generation is alive but cannot serve routes.
+		gen := f.Generation()
+		if gen == nil {
+			reply(w, http.StatusServiceUnavailable, map[string]any{
+				"status": "unready", "reason": "no generation published",
+			})
+			return
+		}
+		st := f.Stats()
+		resp := map[string]any{
+			"status":            "ok",
+			"generation":        st.Seq,
+			"algo":              st.Algo,
+			"generation_age_ms": float64(time.Since(f.LastSwap()).Microseconds()) / 1000,
+			"uptime_ms":         float64(time.Since(d.started).Microseconds()) / 1000,
+			"journal_seq":       d.jnl.Seq(),
+		}
+		if out := d.lastOpt.Load(); out != nil {
+			resp["last_optimize"] = out
+		} else {
+			resp["last_optimize"] = nil
+		}
+		if d.wsrv != nil {
+			resp["wire_listener"] = map[string]any{
+				"addr": d.wireAddr, "conns": len(d.wsrv.ConnStats()),
+			}
+		} else {
+			resp["wire_listener"] = nil
+		}
+		reply(w, http.StatusOK, resp)
 	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		d.reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		n := 32
+		if v := r.URL.Query().Get("n"); v != "" {
+			parsed, err := strconv.Atoi(v)
+			if err != nil || parsed < 0 {
+				reply(w, http.StatusBadRequest, errJSON{fmt.Sprintf("bad %q: want a non-negative integer", "n")})
+				return
+			}
+			n = parsed
+		}
+		reply(w, http.StatusOK, map[string]any{
+			"seq": d.jnl.Seq(), "events": d.jnl.Tail(n),
+		})
+	})
+	mux.HandleFunc("GET /wire", func(w http.ResponseWriter, r *http.Request) {
+		if d.wsrv == nil {
+			reply(w, http.StatusNotFound, errJSON{"binary listener is disabled (-listen-binary)"})
+			return
+		}
+		reply(w, http.StatusOK, map[string]any{
+			"addr": d.wireAddr, "conns": d.wsrv.ConnStats(),
+		})
+	})
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("GET /stats", func(w http.ResponseWriter, r *http.Request) {
 		reply(w, http.StatusOK, toJSON(f.Stats()))
 	})
@@ -527,6 +683,7 @@ func newMux(f *fabric.Fabric, s *sched.Scheduler, threshold float64) *http.Serve
 			return
 		}
 		res, err := f.Optimize(cfg)
+		d.recordOptimize(res, err)
 		if err != nil {
 			// With telemetry on, an Optimize error is a server-side
 			// fault (candidate build or verification failure), not a

@@ -5,6 +5,7 @@ import (
 	"net/http"
 	"net/http/httptest"
 	"strconv"
+	"strings"
 	"sync"
 	"testing"
 
@@ -13,11 +14,11 @@ import (
 
 func testMux(t *testing.T, spec string) *http.ServeMux {
 	t.Helper()
-	f, s, err := build(spec, "d-mod-k", "balanced", "analytic", 1, true)
+	d, err := build(spec, "d-mod-k", "balanced", "analytic", 1, true, nil, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	return newMux(f, s, 0)
+	return newMux(d, 0, false)
 }
 
 func do(t *testing.T, mux *http.ServeMux, method, target string) (int, map[string]any) {
@@ -162,11 +163,11 @@ func TestOptimizeHandler(t *testing.T) {
 }
 
 func TestOptimizeHandlerWithoutTelemetry(t *testing.T) {
-	f, s, err := build("2;4,4;1,4", "d-mod-k", "linear", "analytic", 1, false)
+	d, err := build("2;4,4;1,4", "d-mod-k", "linear", "analytic", 1, false, nil, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mux := newMux(f, s, 0)
+	mux := newMux(d, 0, false)
 	if code, _ := do(t, mux, "POST", "/optimize"); code != http.StatusConflict {
 		t.Errorf("optimize without telemetry: code %d, want 409", code)
 	}
@@ -269,11 +270,12 @@ func TestJobSubmitRejectsBadRequests(t *testing.T) {
 // resolver floods ResolveBatch (run with -race): scheduler-driven
 // optimizer swaps must never disturb the lock-free resolve path.
 func TestJobChurnRacingResolveBatch(t *testing.T) {
-	f, s, err := build("2;8,8;1,4", "d-mod-k", "telemetry", "analytic", 1, true)
+	d, err := build("2;8,8;1,4", "d-mod-k", "telemetry", "analytic", 1, true, nil, 64)
 	if err != nil {
 		t.Fatal(err)
 	}
-	mux := newMux(f, s, 0)
+	f := d.f
+	mux := newMux(d, 0, false)
 	n := f.Topology().Leaves()
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
@@ -312,4 +314,95 @@ func TestJobChurnRacingResolveBatch(t *testing.T) {
 	}
 	close(stop)
 	wg.Wait()
+}
+
+// TestObservabilityEndpoints exercises the introspection surface: an
+// enriched /healthz, the Prometheus exposition, and the event journal
+// tail, all fed by real control-plane activity.
+func TestObservabilityEndpoints(t *testing.T) {
+	mux := testMux(t, "2;8,8;1,4")
+
+	code, body := do(t, mux, "GET", "/healthz")
+	if code != http.StatusOK || body["status"] != "ok" {
+		t.Fatalf("healthz: %d %v", code, body)
+	}
+	for _, key := range []string{"generation", "algo", "generation_age_ms", "uptime_ms", "journal_seq"} {
+		if _, ok := body[key]; !ok {
+			t.Errorf("healthz lacks %q: %v", key, body)
+		}
+	}
+	if wl, ok := body["wire_listener"]; !ok || wl != nil {
+		t.Errorf("healthz wire_listener = %v (present %v), want null", wl, ok)
+	}
+
+	// Drive some control-plane activity: a resolve, a submit, a
+	// release, a fault and a heal.
+	if code, b := do(t, mux, "GET", "/resolve?src=0&dst=9"); code != http.StatusOK {
+		t.Fatalf("resolve: %d %v", code, b)
+	}
+	if code, b := do(t, mux, "POST", "/jobs?app=perm&n=8"); code != http.StatusOK {
+		t.Fatalf("submit: %d %v", code, b)
+	}
+	if code, b := do(t, mux, "DELETE", "/jobs/1"); code != http.StatusOK {
+		t.Fatalf("release: %d %v", code, b)
+	}
+	if code, b := do(t, mux, "POST", "/fail-link?level=1&index=0&port=0"); code != http.StatusOK {
+		t.Fatalf("fail-link: %d %v", code, b)
+	}
+	if code, b := do(t, mux, "POST", "/heal"); code != http.StatusOK {
+		t.Fatalf("heal: %d %v", code, b)
+	}
+
+	// The exposition carries instruments from every layer.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	rec := httptest.NewRecorder()
+	mux.ServeHTTP(rec, req)
+	if rec.Code != http.StatusOK {
+		t.Fatalf("metrics: %d", rec.Code)
+	}
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("metrics content type %q", ct)
+	}
+	text := rec.Body.String()
+	for _, want := range []string{
+		"# TYPE fabric_resolves_total counter",
+		"# TYPE fabric_generation gauge",
+		"fabric_generation_swaps_total",
+		`sched_placements_total{policy="balanced"}`,
+		"sched_fragmentation",
+		"evaluate_cache_hits_total",
+		`fabric_resolve_batch_packed_ns{quantile="0.99"}`,
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("exposition lacks %q", want)
+		}
+	}
+
+	// The journal tail replays the activity in order.
+	code, body = do(t, mux, "GET", "/events?n=0")
+	if code != http.StatusOK {
+		t.Fatalf("events: %d %v", code, body)
+	}
+	events, _ := body["events"].([]any)
+	if len(events) == 0 {
+		t.Fatalf("no events: %v", body)
+	}
+	types := map[string]int{}
+	for _, e := range events {
+		ev, _ := e.(map[string]any)
+		types[ev["type"].(string)]++
+	}
+	for _, want := range []string{"generation.swap", "job.submit", "job.release", "optimize"} {
+		if types[want] == 0 {
+			t.Errorf("journal has no %q event (saw %v)", want, types)
+		}
+	}
+	if code, b := do(t, mux, "GET", "/events?n=-1"); code != http.StatusBadRequest {
+		t.Errorf("events with bad n: %d %v", code, b)
+	}
+
+	// No binary listener in this mux: /wire is a 404.
+	if code, b := do(t, mux, "GET", "/wire"); code != http.StatusNotFound {
+		t.Errorf("wire without listener: %d %v", code, b)
+	}
 }

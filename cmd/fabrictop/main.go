@@ -1,0 +1,241 @@
+// Command fabrictop is a live one-screen view of a running fabricd:
+// it polls GET /metrics (Prometheus text) and GET /events (the
+// control-plane journal tail) and renders the fabric's vitals — the
+// serving generation, resolve counters and latency quantiles, wire
+// listener traffic, scheduler pool occupancy, evaluator cache
+// effectiveness — plus the most recent control-plane events.
+//
+// Usage:
+//
+//	fabrictop -addr 127.0.0.1:7420
+//	fabrictop -addr 127.0.0.1:7420 -interval 1s -events 12
+//	fabrictop -addr 127.0.0.1:7420 -once
+//
+// -once prints a single frame and exits (no screen clearing) — the
+// scriptable form the CLI smoke test drives.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7420", "fabricd HTTP address (host:port or URL)")
+		interval = flag.Duration("interval", 2*time.Second, "poll interval")
+		events   = flag.Int("events", 8, "journal events to show")
+		once     = flag.Bool("once", false, "print one frame and exit")
+		timeout  = flag.Duration("timeout", 5*time.Second, "per-poll HTTP timeout")
+	)
+	flag.Parse()
+	base := *addr
+	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
+		base = "http://" + base
+	}
+	client := &http.Client{Timeout: *timeout}
+	for {
+		frame, err := poll(client, base, *events)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fabrictop:", err)
+			os.Exit(2)
+		}
+		if !*once {
+			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
+		}
+		render(os.Stdout, *addr, frame, time.Now())
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// frame is one poll's worth of daemon state.
+type frame struct {
+	metrics map[string]float64
+	events  []obs.Event
+}
+
+// poll fetches one frame from the daemon.
+func poll(client *http.Client, base string, nEvents int) (frame, error) {
+	var f frame
+	resp, err := client.Get(base + "/metrics")
+	if err != nil {
+		return f, err
+	}
+	f.metrics, err = parseMetrics(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return f, fmt.Errorf("parsing /metrics: %w", err)
+	}
+	resp, err = client.Get(fmt.Sprintf("%s/events?n=%d", base, nEvents))
+	if err != nil {
+		return f, err
+	}
+	defer resp.Body.Close()
+	var tail struct {
+		Events []obs.Event `json:"events"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&tail); err != nil {
+		return f, fmt.Errorf("parsing /events: %w", err)
+	}
+	f.events = tail.Events
+	return f, nil
+}
+
+// parseMetrics reads a Prometheus text exposition into a name -> value
+// map; labelled samples keep their labels in the key, exactly as
+// internal/obs writes them.
+func parseMetrics(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64<<10), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		cut := strings.LastIndexByte(line, ' ')
+		if cut < 1 {
+			return nil, fmt.Errorf("malformed sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[cut+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("malformed value in %q: %v", line, err)
+		}
+		out[line[:cut]] = v
+	}
+	return out, sc.Err()
+}
+
+// render writes the one-screen view.
+func render(w io.Writer, addr string, f frame, now time.Time) {
+	m := f.metrics
+	get := func(name string) float64 { return m[name] }
+	q := func(hist, quantile string) string {
+		return fmtDur(get(hist + `{quantile="` + quantile + `"}`))
+	}
+	fmt.Fprintf(w, "fabrictop %s — generation %.0f, %.0f swaps\n",
+		addr, get("fabric_generation"), get("fabric_generation_swaps_total"))
+
+	fmt.Fprintf(w, "fabric    resolves %s  unresolved %s  batches %s  served(gen) %s\n",
+		fmtCount(get("fabric_resolves_total")), fmtCount(get("fabric_unresolved_total")),
+		fmtCount(get("fabric_resolve_batches_total")), fmtCount(get("fabric_routes_served")))
+	fmt.Fprintf(w, "          packed batch p50 %s  p90 %s  p99 %s  max %s\n",
+		q("fabric_resolve_batch_packed_ns", "0.5"), q("fabric_resolve_batch_packed_ns", "0.9"),
+		q("fabric_resolve_batch_packed_ns", "0.99"), fmtDur(get("fabric_resolve_batch_packed_ns_max")))
+
+	fmt.Fprintf(w, "wire      conns %.0f (total %.0f)  frames %s  in %s  out %s  cuts %.0f\n",
+		get("wire_conns_active"), get("wire_conns_total"),
+		fmtCount(get("wire_frames_total")),
+		fmtBytes(get("wire_bytes_read_total")), fmtBytes(get("wire_bytes_written_total")),
+		get("wire_deadline_cuts_total"))
+	fmt.Fprintf(w, "          request p50 %s  p90 %s  p99 %s  max %s\n",
+		q("wire_request_ns", "0.5"), q("wire_request_ns", "0.9"),
+		q("wire_request_ns", "0.99"), fmtDur(get("wire_request_ns_max")))
+
+	fmt.Fprintf(w, "sched     jobs %.0f  free %.0f leaves  frag %.2f  placements %s  releases %s  rejections %s\n",
+		get("sched_jobs"), get("sched_free_leaves"), get("sched_fragmentation"),
+		fmtCount(sumLabeled(m, "sched_placements_total")),
+		fmtCount(get("sched_releases_total")), fmtCount(get("sched_rejections_total")))
+
+	fmt.Fprintf(w, "evaluate  hits %s  misses %s  coalesced %s  score p99 %s\n",
+		fmtCount(get("evaluate_cache_hits_total")), fmtCount(get("evaluate_cache_misses_total")),
+		fmtCount(get("evaluate_cache_coalesced_total")), q("evaluate_score_ns", "0.99"))
+
+	fmt.Fprintf(w, "events    (%d most recent)\n", len(f.events))
+	for _, ev := range f.events {
+		fmt.Fprintf(w, "  #%-4d %s  %-16s %s\n",
+			ev.Seq, ev.Time.Format("15:04:05"), ev.Type, eventFields(ev))
+	}
+}
+
+// sumLabeled totals every sample of a labelled metric family (e.g.
+// sched_placements_total across policies).
+func sumLabeled(m map[string]float64, base string) float64 {
+	total := m[base]
+	for name, v := range m {
+		if strings.HasPrefix(name, base+"{") {
+			total += v
+		}
+	}
+	return total
+}
+
+// eventFields renders an event's payload as "k=v" pairs in sorted key
+// order, with the duration first when measured.
+func eventFields(ev obs.Event) string {
+	var sb strings.Builder
+	if ev.Dur > 0 {
+		fmt.Fprintf(&sb, "dur=%s", ev.Dur.Round(time.Microsecond))
+	}
+	keys := make([]string, 0, len(ev.Fields))
+	for k := range ev.Fields {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		if sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%s=%v", k, ev.Fields[k])
+	}
+	return sb.String()
+}
+
+// fmtCount renders a sample count compactly (12.3k, 4.5M).
+func fmtCount(v float64) string {
+	switch {
+	case v >= 1e9:
+		return fmt.Sprintf("%.1fG", v/1e9)
+	case v >= 1e6:
+		return fmt.Sprintf("%.1fM", v/1e6)
+	case v >= 1e4:
+		return fmt.Sprintf("%.1fk", v/1e3)
+	default:
+		return fmt.Sprintf("%.0f", v)
+	}
+}
+
+// fmtBytes renders a byte count compactly.
+func fmtBytes(v float64) string {
+	switch {
+	case v >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", v/(1<<30))
+	case v >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", v/(1<<20))
+	case v >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", v/(1<<10))
+	default:
+		return fmt.Sprintf("%.0fB", v)
+	}
+}
+
+// fmtDur renders a nanosecond sample as a rounded duration; zero (no
+// samples yet) renders as "-".
+func fmtDur(ns float64) string {
+	if ns <= 0 {
+		return "-"
+	}
+	d := time.Duration(ns)
+	switch {
+	case d >= time.Second:
+		return d.Round(10 * time.Millisecond).String()
+	case d >= time.Millisecond:
+		return d.Round(10 * time.Microsecond).String()
+	default:
+		return d.Round(10 * time.Nanosecond).String()
+	}
+}

@@ -1,0 +1,135 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// testDaemon serves canned /metrics and /events the way fabricd does:
+// a real obs.Registry exposition, a real journal tail.
+func testDaemon(t *testing.T) *httptest.Server {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Counter("fabric_resolves_total", "", 1).Add(1_234_567)
+	reg.Counter("fabric_unresolved_total", "", 1).Add(3)
+	reg.Counter("fabric_resolve_batches_total", "", 1).Add(42)
+	reg.Gauge("fabric_generation", "").Set(7)
+	reg.Counter("fabric_generation_swaps_total", "", 1).Add(7)
+	reg.GaugeFunc("fabric_routes_served", "", func() float64 { return 900 })
+	h := reg.Histogram("fabric_resolve_batch_packed_ns", "")
+	for v := int64(1000); v <= 100_000; v += 1000 {
+		h.Observe(v)
+	}
+	reg.Gauge("wire_conns_active", "").Set(2)
+	reg.Counter("wire_conns_total", "", 1).Add(5)
+	reg.Counter("wire_bytes_read_total", "", 1).Add(3 << 20)
+	reg.Counter(`sched_placements_total{policy="linear"}`, "", 1).Add(11)
+	reg.Counter(`sched_placements_total{policy="random"}`, "", 1).Add(4)
+	reg.Gauge("sched_jobs", "").Set(3)
+	reg.Gauge("sched_fragmentation", "").Set(0.25)
+	jnl := obs.NewJournal(16, nil)
+	jnl.Record("generation.swap", 2*time.Millisecond, map[string]any{"reason": "optimize", "seq": uint64(7)})
+	jnl.Record("job.submit", time.Millisecond, map[string]any{"job": uint64(1), "n": 8})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"seq":2,"events":[`))
+		// Reuse encoding from the journal's own Event JSON form.
+		for i, ev := range jnl.Tail(0) {
+			if i > 0 {
+				w.Write([]byte(","))
+			}
+			b, err := json.Marshal(ev)
+			if err != nil {
+				t.Errorf("marshal event: %v", err)
+			}
+			w.Write(b)
+		}
+		w.Write([]byte(`]}`))
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func TestPollAndRender(t *testing.T) {
+	srv := testDaemon(t)
+	f, err := poll(srv.Client(), srv.URL, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := f.metrics["fabric_resolves_total"]; got != 1_234_567 {
+		t.Fatalf("fabric_resolves_total = %v", got)
+	}
+	if got := f.metrics[`sched_placements_total{policy="linear"}`]; got != 11 {
+		t.Fatalf("labelled placements = %v", got)
+	}
+	if len(f.events) != 2 || f.events[0].Type != "generation.swap" {
+		t.Fatalf("events = %+v", f.events)
+	}
+	var sb strings.Builder
+	render(&sb, "test:7420", f, time.Now())
+	out := sb.String()
+	for _, want := range []string{
+		"generation 7",
+		"resolves 1.2M",
+		"placements 15", // 11 + 4 across policies
+		"frag 0.25",
+		"generation.swap",
+		"reason=optimize",
+		"job.submit",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+	// One-screen discipline: a frame stays comfortably under 25 lines.
+	if lines := strings.Count(out, "\n"); lines > 24 {
+		t.Errorf("frame is %d lines", lines)
+	}
+}
+
+func TestParseMetrics(t *testing.T) {
+	in := `# HELP a_total help
+# TYPE a_total counter
+a_total 5
+b{quantile="0.5"} 1200
+c -2.5
+`
+	m, err := parseMetrics(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m["a_total"] != 5 || m[`b{quantile="0.5"}`] != 1200 || m["c"] != -2.5 {
+		t.Fatalf("parsed %v", m)
+	}
+	if _, err := parseMetrics(strings.NewReader("garbage")); err == nil {
+		t.Fatal("malformed exposition parsed")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if got := fmtCount(1_500_000); got != "1.5M" {
+		t.Errorf("fmtCount = %q", got)
+	}
+	if got := fmtBytes(3 << 20); got != "3.0MiB" {
+		t.Errorf("fmtBytes = %q", got)
+	}
+	if got := fmtDur(0); got != "-" {
+		t.Errorf("fmtDur(0) = %q", got)
+	}
+	if got := fmtDur(2500); got != "2.5µs" {
+		t.Errorf("fmtDur = %q", got)
+	}
+}

@@ -17,17 +17,22 @@
 // load for load. -batches fixes the per-connection batch count (a
 // deterministic amount of work); otherwise each connection issues
 // batches until -duration elapses.
+//
+// Round-trip percentiles come from a shared internal/obs histogram —
+// the same lock-free instrument fabricd serves on GET /metrics — fed
+// by every connection's wire.Client; -metrics-dump prints the run's
+// full Prometheus-text exposition after the summary.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"sort"
 	"sync"
 	"time"
 
 	"repro/internal/hashutil"
+	"repro/internal/obs"
 	"repro/internal/wire"
 	"repro/internal/xgft"
 )
@@ -42,24 +47,44 @@ func main() {
 		duration = flag.Duration("duration", 2*time.Second, "run length when -batches is 0")
 		seed     = flag.Uint64("seed", 1, "traffic key")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-request network timeout")
+		dump     = flag.Bool("metrics-dump", false, "print the run's Prometheus-text metrics after the summary")
 	)
 	flag.Parse()
-	if err := run(*addr, *spec, *conns, *batch, *batches, *duration, *seed, *timeout); err != nil {
+	if err := run(*addr, *spec, *conns, *batch, *batches, *duration, *seed, *timeout, *dump); err != nil {
 		fmt.Fprintln(os.Stderr, "resolveload:", err)
 		os.Exit(2)
 	}
 }
 
-// connResult is one connection's tally.
+// connResult is one connection's tally; the latency samples land in
+// the shared histogram instead.
 type connResult struct {
 	batches   int
 	resolved  int64
 	requested int64
-	rtts      []time.Duration
 	err       error
 }
 
-func run(addr, spec string, conns, batch, batches int, duration time.Duration, seed uint64, timeout time.Duration) error {
+// loadMetrics is the run's instrument set, shared by every
+// connection: counters sharded by connection index, one RTT
+// histogram observed by each wire.Client.
+type loadMetrics struct {
+	rtt       *obs.Histogram
+	batches   *obs.Counter
+	resolved  *obs.Counter
+	requested *obs.Counter
+}
+
+func newLoadMetrics(reg *obs.Registry, conns int) *loadMetrics {
+	return &loadMetrics{
+		rtt:       reg.Histogram("resolveload_batch_rtt_ns", "client-observed batch round-trip latency"),
+		batches:   reg.Counter("resolveload_batches_total", "batches completed", conns),
+		resolved:  reg.Counter("resolveload_resolved_total", "pairs resolved", conns),
+		requested: reg.Counter("resolveload_requested_total", "pairs requested", conns),
+	}
+}
+
+func run(addr, spec string, conns, batch, batches int, duration time.Duration, seed uint64, timeout time.Duration, dump bool) error {
 	tp, err := xgft.Parse(spec)
 	if err != nil {
 		return err
@@ -76,6 +101,8 @@ func run(addr, spec string, conns, batch, batches int, duration time.Duration, s
 			conns, batch, duration, addr, n, seed)
 	}
 
+	reg := obs.NewRegistry()
+	m := newLoadMetrics(reg, conns)
 	results := make([]connResult, conns)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -84,14 +111,13 @@ func run(addr, spec string, conns, batch, batches int, duration time.Duration, s
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			results[ci] = drive(addr, n, ci, batch, batches, stop, seed, timeout)
+			results[ci] = drive(addr, n, ci, batch, batches, stop, seed, timeout, m)
 		}(ci)
 	}
 	wg.Wait()
 	elapsed := time.Since(start)
 
 	var total connResult
-	var rtts []time.Duration
 	for ci := range results {
 		r := &results[ci]
 		if r.err != nil {
@@ -100,7 +126,6 @@ func run(addr, spec string, conns, batch, batches int, duration time.Duration, s
 		total.batches += r.batches
 		total.resolved += r.resolved
 		total.requested += r.requested
-		rtts = append(rtts, r.rtts...)
 	}
 	if total.batches == 0 {
 		return fmt.Errorf("no batches completed")
@@ -108,21 +133,24 @@ func run(addr, spec string, conns, batch, batches int, duration time.Duration, s
 	fmt.Printf("  resolved %d/%d pairs in %d batches over %v (%.2fM resolves/s)\n",
 		total.resolved, total.requested, total.batches, elapsed.Round(time.Millisecond),
 		float64(total.resolved)/elapsed.Seconds()/1e6)
-	sort.Slice(rtts, func(i, j int) bool { return rtts[i] < rtts[j] })
-	pct := func(p float64) time.Duration {
-		i := int(p * float64(len(rtts)-1))
-		return rtts[i]
-	}
+	q := func(p float64) time.Duration { return time.Duration(m.rtt.Quantile(p)) }
 	fmt.Printf("  batch RTT p50 %v p90 %v p99 %v max %v\n",
-		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond),
-		pct(0.99).Round(time.Microsecond), rtts[len(rtts)-1].Round(time.Microsecond))
+		q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
+		q(0.99).Round(time.Microsecond), time.Duration(m.rtt.Max()).Round(time.Microsecond))
+	if dump {
+		fmt.Println()
+		if err := reg.WritePrometheus(os.Stdout); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
 // drive runs one connection's load: batches of pairs drawn from a
 // stream keyed by (seed, connection, batch index), so the traffic is
-// reproducible per flag set.
-func drive(addr string, n, ci, batch, batches int, stop time.Time, seed uint64, timeout time.Duration) connResult {
+// reproducible per flag set. Latency lands in the shared histogram
+// via the client's own RTT instrument.
+func drive(addr string, n, ci, batch, batches int, stop time.Time, seed uint64, timeout time.Duration, m *loadMetrics) connResult {
 	var res connResult
 	c, err := wire.Dial(addr, timeout)
 	if err != nil {
@@ -130,6 +158,8 @@ func drive(addr string, n, ci, batch, batches int, stop time.Time, seed uint64, 
 		return res
 	}
 	defer c.Close()
+	c.RTT = m.rtt
+	key := uint64(ci)
 	pairs := make([][2]int, batch)
 	for bi := 0; ; bi++ {
 		if batches > 0 {
@@ -143,20 +173,22 @@ func drive(addr string, n, ci, batch, batches int, stop time.Time, seed uint64, 
 		for i := range pairs {
 			pairs[i] = [2]int{st.Intn(n), st.Intn(n)}
 		}
-		t0 := time.Now()
 		_, packed, err := c.ResolveBatchPacked(pairs)
-		rtt := time.Since(t0)
 		if err != nil {
 			res.err = err
 			return res
 		}
 		res.batches++
 		res.requested += int64(len(pairs))
-		res.rtts = append(res.rtts, rtt)
+		m.batches.AddAt(key, 1)
+		m.requested.AddAt(key, uint64(len(pairs)))
+		hit := int64(0)
 		for _, p := range packed {
 			if p != wire.Unreachable {
-				res.resolved++
+				hit++
 			}
 		}
+		res.resolved += hit
+		m.resolved.AddAt(key, uint64(hit))
 	}
 }

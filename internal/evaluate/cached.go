@@ -4,9 +4,11 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/hashutil"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/xgft"
 )
@@ -53,6 +55,7 @@ type CachedEvaluator struct {
 	hits      atomic.Uint64
 	misses    atomic.Uint64
 	coalesced atomic.Uint64
+	scoreNS   atomic.Pointer[obs.Histogram]
 
 	mu       sync.Mutex
 	entries  map[scoreKey]Result
@@ -70,6 +73,18 @@ func NewCached(inner Evaluator, capacity int) *CachedEvaluator {
 		entries:  make(map[scoreKey]Result),
 		inflight: make(map[scoreKey]*inflightScore),
 	}
+}
+
+// Instrument registers the evaluate_* instruments on the registry:
+// hit/miss/coalesce counters sampled at scrape time from the cache's
+// own atomics, plus a latency histogram over backend computations
+// (cache hits are not observed — they are the point of the cache).
+// Call once per registry, before concurrent use.
+func (c *CachedEvaluator) Instrument(reg *obs.Registry) {
+	reg.CounterFunc("evaluate_cache_hits_total", "evaluations served from the memo", func() uint64 { return c.hits.Load() })
+	reg.CounterFunc("evaluate_cache_misses_total", "evaluations computed by the backend", func() uint64 { return c.misses.Load() })
+	reg.CounterFunc("evaluate_cache_coalesced_total", "evaluations served by waiting on an identical in-flight call", func() uint64 { return c.coalesced.Load() })
+	c.scoreNS.Store(reg.Histogram("evaluate_score_ns", "backend score latency (cache misses only)"))
 }
 
 // Name reports the wrapped backend's name: a cache changes cost, not
@@ -179,8 +194,12 @@ func (c *CachedEvaluator) memoized(key scoreKey, compute func() (Result, error))
 		c.mu.Unlock()
 		close(fl.done)
 	}()
+	start := time.Now()
 	fl.res, fl.err = compute()
 	completed = true
+	if h := c.scoreNS.Load(); h != nil {
+		h.Observe(time.Since(start).Nanoseconds())
+	}
 	return fl.res, fl.err
 }
 

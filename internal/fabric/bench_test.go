@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/hashutil"
+	"repro/internal/obs"
 	"repro/internal/xgft"
 )
 
@@ -64,6 +65,39 @@ func BenchmarkResolveBatch(b *testing.B) {
 func BenchmarkResolveBatchPacked(b *testing.B) {
 	f := benchFabric(b)
 	n := f.Topology().Leaves()
+	const batch = 4096
+	pairs := make([][2]int, batch)
+	out := make([]uint64, batch)
+	h := uint64(1)
+	for i := range pairs {
+		h = hashutil.Splitmix64(h)
+		pairs[i] = [2]int{int(h % uint64(n)), int(h >> 32 % uint64(n))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ResolveBatchPacked(pairs, out)
+	}
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "routes/s")
+}
+
+// BenchmarkResolveBatchPackedObserved is the wire-speed hot path with
+// full observability enabled — metrics registry, event journal and
+// telemetry all attached. The bench gate holds it to the same
+// regression budget as the bare path: per-batch instrumentation (two
+// timestamps, a histogram observe, sharded counter adds) must stay in
+// the noise.
+func BenchmarkResolveBatchPackedObserved(b *testing.B) {
+	tp := xgft.MustNew(2, []int{16, 16}, []int{1, 16})
+	reg := obs.NewRegistry()
+	f, err := New(Config{
+		Topo: tp, Algo: core.NewDModK(tp),
+		Telemetry: true, Metrics: reg, Journal: obs.NewJournal(64, nil),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := tp.Leaves()
 	const batch = 4096
 	pairs := make([][2]int, batch)
 	out := make([]uint64, batch)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/evaluate"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/xgft"
 )
@@ -53,6 +54,16 @@ type Config struct {
 	// grouped-contention metric, the venus simulation, or a cached or
 	// test double — to change what "better table" means.
 	Evaluator evaluate.Evaluator
+	// Metrics registers the fabric's instruments (resolve counters,
+	// batch latency histograms, the generation gauge) in the given
+	// registry. nil disables metric recording: the hot paths pay one
+	// nil check and nothing else.
+	Metrics *obs.Registry
+	// Journal receives the fabric's control-plane events — every
+	// generation swap with its reason and build stats, rejected fault
+	// operations, and Optimize decisions with per-candidate scores.
+	// nil disables event recording.
+	Journal *obs.Journal
 }
 
 // Fabric serves routing decisions for one topology under one scheme,
@@ -68,8 +79,37 @@ type Fabric struct {
 	pairs *pattern.Pattern // all-pairs probe pattern, shard fill order
 	tel   *Telemetry       // nil when telemetry is disabled
 
+	m        *fabricMetrics // nil when metrics are disabled
+	journal  *obs.Journal   // nil when event recording is disabled
+	served   atomic.Uint64  // resolves served by the current generation (metrics only)
+	lastSwap atomic.Int64   // unixnano of the last generation publish
+
 	mu  sync.Mutex // serializes generation changes
 	gen atomic.Pointer[Generation]
+}
+
+// fabricMetrics is the fabric's instrument set; one per fabric, named
+// once at construction so the hot paths never touch the registry.
+type fabricMetrics struct {
+	resolves   *obs.Counter   // routes served, sharded by source leaf
+	unresolved *obs.Counter   // lookups that found no route
+	batches    *obs.Counter   // ResolveBatch/ResolveBatchPacked calls
+	batchNS    *obs.Histogram // ResolveBatch call latency
+	packedNS   *obs.Histogram // ResolveBatchPacked call latency
+	generation *obs.Gauge     // serving generation sequence
+	swaps      *obs.Counter   // generation hot-swaps installed
+}
+
+func newFabricMetrics(reg *obs.Registry) *fabricMetrics {
+	return &fabricMetrics{
+		resolves:   reg.Counter("fabric_resolves_total", "routes served by Resolve and the batch paths", 8),
+		unresolved: reg.Counter("fabric_unresolved_total", "lookups that found no installed route", 1),
+		batches:    reg.Counter("fabric_resolve_batches_total", "batch resolve calls (plain and packed)", 1),
+		batchNS:    reg.Histogram("fabric_resolve_batch_ns", "ResolveBatch whole-batch latency"),
+		packedNS:   reg.Histogram("fabric_resolve_batch_packed_ns", "ResolveBatchPacked whole-batch latency"),
+		generation: reg.Gauge("fabric_generation", "serving generation sequence number"),
+		swaps:      reg.Counter("fabric_generation_swaps_total", "generation hot-swaps installed after the initial build", 1),
+	}
 }
 
 // New builds a fabric and compiles its initial healthy generation
@@ -107,13 +147,51 @@ func New(cfg Config) (*Fabric, error) {
 	if cfg.Telemetry {
 		f.tel = newTelemetry(cfg.Topo.Leaves())
 	}
+	if cfg.Metrics != nil {
+		f.m = newFabricMetrics(cfg.Metrics)
+		// Sampled at scrape time: resolves served by the generation
+		// currently installed (reset on every swap).
+		cfg.Metrics.GaugeFunc("fabric_routes_served", "resolves served by the current generation",
+			func() float64 { return float64(f.served.Load()) })
+	}
+	f.journal = cfg.Journal
 	gen, err := f.buildHealthy(0)
 	if err != nil {
 		return nil, err
 	}
-	f.gen.Store(gen)
+	f.publish(gen, "initial")
 	return f, nil
 }
+
+// publish installs gen as the serving generation, stamps the swap
+// time, updates the generation instruments, and journals the swap
+// with its reason and build stats. Callers hold f.mu (except New,
+// where the fabric is not yet shared).
+func (f *Fabric) publish(gen *Generation, reason string) {
+	f.gen.Store(gen)
+	f.lastSwap.Store(time.Now().UnixNano())
+	servedPrev := f.served.Swap(0)
+	if f.m != nil {
+		f.m.generation.Set(float64(gen.stats.Seq))
+		if gen.stats.Seq > 0 {
+			f.m.swaps.Inc()
+		}
+	}
+	if f.journal != nil {
+		st := gen.stats
+		f.journal.Record("generation.swap", st.BuildTime, map[string]any{
+			"reason": reason, "seq": st.Seq, "algo": st.Algo,
+			"routes": st.Routes, "patched": st.Patched,
+			"unreachable": st.Unreachable, "failed_wires": st.FailedWires,
+			"failed_switches": st.FailedSwitches, "cache_hit": st.CacheHit,
+			"served_prev": servedPrev,
+		})
+	}
+}
+
+// LastSwap returns the wall-clock time the serving generation was
+// published — the readiness probe's "generation age" anchor.
+func (f *Fabric) LastSwap() time.Time { return time.Unix(0, f.lastSwap.Load()) }
 
 // Topology returns the healthy topology the fabric serves.
 func (f *Fabric) Topology() *xgft.Topology { return f.topo }
@@ -150,6 +228,14 @@ func (f *Fabric) Resolve(src, dst int) (xgft.Route, bool) {
 	if f.tel != nil && ok && src != dst {
 		f.tel.record(src, dst)
 	}
+	if f.m != nil {
+		if ok {
+			f.m.resolves.AddAt(uint64(src), 1)
+			f.served.Add(1)
+		} else {
+			f.m.unresolved.Add(1)
+		}
+	}
 	return r, ok
 }
 
@@ -157,6 +243,10 @@ func (f *Fabric) Resolve(src, dst int) (xgft.Route, bool) {
 // generation and returns how many resolved. out must be at least as
 // long as pairs. Telemetry counts every resolved non-self pair.
 func (f *Fabric) ResolveBatch(pairs [][2]int, out []xgft.Route) int {
+	var start time.Time
+	if f.m != nil {
+		start = time.Now()
+	}
 	resolved := f.gen.Load().ResolveBatch(pairs, out)
 	if f.tel != nil {
 		for i, p := range pairs {
@@ -167,7 +257,27 @@ func (f *Fabric) ResolveBatch(pairs [][2]int, out []xgft.Route) int {
 			}
 		}
 	}
+	if f.m != nil {
+		f.recordBatch(f.m.batchNS, pairs, resolved, start)
+	}
 	return resolved
+}
+
+// recordBatch is the shared batch-path instrumentation: one histogram
+// observation and a handful of counter adds per batch, amortized over
+// every pair in it — no allocation, no locks.
+func (f *Fabric) recordBatch(hist *obs.Histogram, pairs [][2]int, resolved int, start time.Time) {
+	shard := uint64(0)
+	if len(pairs) > 0 {
+		shard = uint64(pairs[0][0])
+	}
+	f.m.batches.Inc()
+	f.m.resolves.AddAt(shard, uint64(resolved))
+	if miss := len(pairs) - resolved; miss > 0 {
+		f.m.unresolved.Add(uint64(miss))
+	}
+	f.served.Add(uint64(resolved))
+	hist.Observe(time.Since(start).Nanoseconds())
 }
 
 // ResolveBatchPacked resolves pairs[i] into out[i] as packed words
@@ -178,6 +288,10 @@ func (f *Fabric) ResolveBatch(pairs [][2]int, out []xgft.Route) int {
 // telemetry enabled every resolved non-self pair still counts (one
 // uncontended atomic add each).
 func (f *Fabric) ResolveBatchPacked(pairs [][2]int, out []uint64) (resolved int, generation uint64) {
+	var start time.Time
+	if f.m != nil {
+		start = time.Now()
+	}
 	gen := f.gen.Load()
 	resolved = gen.ResolveBatchPacked(pairs, out)
 	if f.tel != nil {
@@ -189,6 +303,9 @@ func (f *Fabric) ResolveBatchPacked(pairs [][2]int, out []uint64) (resolved int,
 				f.tel.record(p[0], p[1])
 			}
 		}
+	}
+	if f.m != nil {
+		f.recordBatch(f.m.packedNS, pairs, resolved, start)
 	}
 	return resolved, gen.stats.Seq
 }
@@ -235,32 +352,44 @@ func (f *Fabric) buildHealthy(seq uint64) (*Generation, error) {
 // generation. The returned stats describe the swapped-in generation.
 func (f *Fabric) FailLink(level, index, p int) (Stats, error) {
 	return f.degrade(func(v *xgft.View) bool { return v.FailLink(level, index, p) },
-		fmt.Sprintf("link (%d,%d) port %d", level, index, p))
+		"fail.link", fmt.Sprintf("link (%d,%d) port %d", level, index, p))
 }
 
 // FailSwitch fails the switch (level, index) with every adjacent
 // wire, patches the affected routes, verifies, and swaps.
 func (f *Fabric) FailSwitch(level, index int) (Stats, error) {
 	return f.degrade(func(v *xgft.View) bool { return v.FailSwitch(level, index) },
-		fmt.Sprintf("switch (%d,%d)", level, index))
+		"fail.switch", fmt.Sprintf("switch (%d,%d)", level, index))
 }
 
 // degrade applies one fault to a clone of the current view, patches
-// incrementally, and publishes the result.
-func (f *Fabric) degrade(fail func(*xgft.View) bool, what string) (Stats, error) {
+// incrementally, and publishes the result. Rejected operations (bad
+// target, failed verification) are journaled under "<op>.rejected" so
+// the event stream explains why no swap happened.
+func (f *Fabric) degrade(fail func(*xgft.View) bool, op, what string) (Stats, error) {
 	f.mu.Lock()
 	defer f.mu.Unlock()
 	cur := f.gen.Load()
 	view := cur.view.Clone()
 	if !fail(view) {
-		return cur.stats, fmt.Errorf("fabric: %s is out of range or already failed", what)
+		err := fmt.Errorf("fabric: %s is out of range or already failed", what)
+		f.reject(op, what, err)
+		return cur.stats, err
 	}
 	gen, err := f.patch(cur, view)
 	if err != nil {
+		f.reject(op, what, err)
 		return cur.stats, err
 	}
-	f.gen.Store(gen)
+	f.publish(gen, op)
 	return gen.stats, nil
+}
+
+// reject journals a refused control-plane operation.
+func (f *Fabric) reject(op, what string, err error) {
+	if f.journal != nil {
+		f.journal.Record(op+".rejected", 0, map[string]any{"what": what, "error": err.Error()})
+	}
 }
 
 // patch builds cur's successor under the (strictly larger) fault
@@ -332,8 +461,9 @@ func (f *Fabric) Heal() (Stats, error) {
 	cur := f.gen.Load()
 	gen, err := f.buildHealthy(cur.stats.Seq + 1)
 	if err != nil {
+		f.reject("heal", "healthy rebuild", err)
 		return cur.stats, err
 	}
-	f.gen.Store(gen)
+	f.publish(gen, "heal")
 	return gen.stats, nil
 }

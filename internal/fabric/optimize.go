@@ -103,11 +103,17 @@ func allPairsIndex(n, s, d int) int {
 // fabric's mutex while readers stay lock-free on the old generation.
 // Heal still rebuilds the configured scheme's healthy table,
 // discarding any optimized choice along with the faults.
-func (f *Fabric) Optimize(cfg OptimizeConfig) (OptimizeResult, error) {
+func (f *Fabric) Optimize(cfg OptimizeConfig) (res OptimizeResult, err error) {
 	if f.tel == nil {
 		return OptimizeResult{}, fmt.Errorf("fabric: telemetry is disabled (enable Config.Telemetry)")
 	}
 	cfg = cfg.withDefaults()
+	start := time.Now()
+	// The decision event records what the pass saw and what it decided
+	// — every candidate's score, the winner, and the threshold verdict
+	// — or the failure that aborted it. It lands after the swap event
+	// publish fires, so a journal tail reads swap-then-why.
+	defer func() { f.journalOptimize(res, err, cfg.Threshold, time.Since(start)) }()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 
@@ -116,7 +122,7 @@ func (f *Fabric) Optimize(cfg OptimizeConfig) (OptimizeResult, error) {
 		f.tel.Reset()
 	}
 	cur := f.gen.Load()
-	res := OptimizeResult{
+	res = OptimizeResult{
 		Pairs:    len(obs.Flows),
 		Resolves: obs.TotalBytes(),
 		Stats:    cur.stats,
@@ -168,10 +174,34 @@ func (f *Fabric) Optimize(cfg OptimizeConfig) (OptimizeResult, error) {
 	if err != nil {
 		return res, err
 	}
-	f.gen.Store(gen)
+	f.publish(gen, "optimize")
 	res.Swapped = true
 	res.Stats = gen.stats
 	return res, nil
+}
+
+// journalOptimize records one pass's decision event ("optimize", or
+// "optimize.error" for aborted passes) with per-candidate scores and
+// the threshold verdict.
+func (f *Fabric) journalOptimize(res OptimizeResult, err error, threshold float64, dur time.Duration) {
+	if f.journal == nil {
+		return
+	}
+	if err != nil {
+		f.journal.Record("optimize.error", dur, map[string]any{"error": err.Error()})
+		return
+	}
+	cands := make([]map[string]any, len(res.Candidates))
+	for i, c := range res.Candidates {
+		cands[i] = map[string]any{"algo": c.Algo, "slowdown": c.Slowdown}
+	}
+	f.journal.Record("optimize", dur, map[string]any{
+		"pairs": res.Pairs, "resolves": res.Resolves,
+		"current": res.Current, "candidates": cands,
+		"best": res.Best, "best_slowdown": res.BestSlowdown,
+		"threshold": threshold, "swapped": res.Swapped,
+		"generation": res.Stats.Seq,
+	})
 }
 
 // candidates enumerates the candidate schemes for an observed

@@ -1,0 +1,172 @@
+package obs
+
+import (
+	"math/bits"
+	"sync"
+	"testing"
+)
+
+// TestBucketIndexKnownAnswers pins the log-linear bucketing: the
+// exact region covers [0, 8), every octave above splits into 8 linear
+// sub-buckets, and indexes are monotone in the value.
+func TestBucketIndexKnownAnswers(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 1}, {7, 7}, // exact region, one bucket per value
+		{8, 8}, {9, 9}, {15, 15}, // first octave: still exact (width 1)
+		{16, 16}, {17, 16}, {18, 17}, // width-2 sub-buckets
+		{31, 23},
+		{32, 24}, {35, 24}, {36, 25}, // width-4 sub-buckets
+		{1 << 20, 8 + 17*8}, // each octave starts 8 past the previous
+		{1<<20 + 1<<17 - 1, 8 + 17*8},
+		{1<<20 + 1<<17, 8 + 17*8 + 1},
+		{1<<63 - 1, 8 + 59*8 + 7}, // top bit at position 62 -> octave 59
+	}
+	for _, tc := range cases {
+		if got := bucketIndex(tc.v); got != tc.want {
+			t.Errorf("bucketIndex(%d) = %d, want %d", tc.v, got, tc.want)
+		}
+	}
+	// Monotonicity and bound consistency across octave boundaries.
+	prev := -1
+	for _, v := range []uint64{0, 1, 2, 7, 8, 15, 16, 31, 32, 63, 64, 1023, 1024, 1 << 30, 1 << 62, 1<<63 - 1} {
+		i := bucketIndex(v)
+		if i < prev {
+			t.Errorf("bucketIndex not monotone at %d: %d < %d", v, i, prev)
+		}
+		prev = i
+		if b := bucketBound(i); uint64(b) < v {
+			t.Errorf("bucketBound(%d) = %d below member value %d", i, b, v)
+		}
+	}
+}
+
+// TestBucketBoundInverse checks every bucket's bound maps back into
+// the same bucket (the bound is the largest member).
+func TestBucketBoundInverse(t *testing.T) {
+	for i := 0; i < numBuckets; i++ {
+		b := bucketBound(i)
+		if got := bucketIndex(uint64(b)); got != i {
+			// The clamped top of the range is allowed to fall short.
+			if b == 1<<63-1 && got < i {
+				continue
+			}
+			t.Fatalf("bucketIndex(bucketBound(%d)=%d) = %d", i, b, got)
+		}
+		if i >= subCount {
+			// One past the bound belongs to the next bucket.
+			if b < 1<<62 && bucketIndex(uint64(b)+1) != i+1 {
+				t.Fatalf("bucketIndex(%d+1) = %d, want %d", b, bucketIndex(uint64(b)+1), i+1)
+			}
+		}
+	}
+}
+
+// TestQuantileKnownAnswers feeds a known distribution and pins the
+// quantile readout to the bucket resolution.
+func TestQuantileKnownAnswers(t *testing.T) {
+	h := newHistogram("t_ns", "")
+	// 100 observations: 1..100. Exact p50 = 50, p90 = 90, p99 = 99.
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 100 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := h.Sum(); got != 5050 {
+		t.Fatalf("sum = %d", got)
+	}
+	if got := h.Max(); got != 100 {
+		t.Fatalf("max = %d", got)
+	}
+	check := func(q float64, exact int64) {
+		t.Helper()
+		got := h.Quantile(q)
+		if got < exact || float64(got) > float64(exact)*1.125+1 {
+			t.Errorf("Quantile(%v) = %d, want within [%d, %v]", q, got, exact, float64(exact)*1.125+1)
+		}
+	}
+	check(0.5, 50)
+	check(0.9, 90)
+	check(0.99, 99)
+	if got := h.Quantile(1); got != 100 {
+		t.Fatalf("Quantile(1) = %d, want the exact max 100", got)
+	}
+	if got := h.Quantile(0); got < 1 || got > 1 {
+		t.Fatalf("Quantile(0) = %d, want 1 (smallest observation's bucket)", got)
+	}
+}
+
+func TestQuantileSingleValueAndEmpty(t *testing.T) {
+	h := newHistogram("t_ns", "")
+	if h.Quantile(0.5) != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram must read 0")
+	}
+	h.Observe(12345)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if got := h.Quantile(q); got != 12345 {
+			t.Fatalf("Quantile(%v) = %d, want 12345 (single observation, capped at max)", q, got)
+		}
+	}
+}
+
+func TestObserveNegativeClamps(t *testing.T) {
+	h := newHistogram("t_ns", "")
+	h.Observe(-5)
+	if h.Count() != 1 || h.Sum() != 0 || h.Quantile(1) != 0 {
+		t.Fatalf("negative observation not clamped: count %d sum %d q1 %d", h.Count(), h.Sum(), h.Quantile(1))
+	}
+}
+
+// TestHistogramConcurrentObserve hammers Observe from many goroutines
+// while reading quantiles — the race detector's target — and checks
+// the final count is exact.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	h := newHistogram("t_ns", "")
+	const workers, per = 8, 20000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			v := uint64(w + 1)
+			for i := 0; i < per; i++ {
+				v = v*6364136223846793005 + 1442695040888963407
+				h.Observe(int64(v >> (v % 32)))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 1000; i++ {
+			h.Quantile(0.5)
+			h.Max()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := h.Count(); got != workers*per {
+		t.Fatalf("count = %d, want %d", got, workers*per)
+	}
+}
+
+// TestBucketResolution verifies the design claim: relative bucket
+// width above the exact region is at most 1/8.
+func TestBucketResolution(t *testing.T) {
+	// Stop below the clamp region at the top of the int64 range, where
+	// bounds saturate and widths stop being meaningful.
+	for i := subCount; bucketBound(i) < 1<<62; i++ {
+		hi := bucketBound(i)
+		lo := bucketBound(i-1) + 1
+		width := hi - lo + 1
+		if float64(width) > float64(lo)/float64(subCount)+1 {
+			t.Fatalf("bucket %d [%d,%d] wider than %v", i, lo, hi, float64(lo)/subCount)
+		}
+		if bits.Len64(uint64(hi)) > 64 {
+			t.Fatalf("bound overflow at %d", i)
+		}
+	}
+}

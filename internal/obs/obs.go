@@ -1,0 +1,295 @@
+// Package obs is the fabric-wide observability core: a
+// zero-allocation metrics registry (sharded atomic counters, gauges,
+// lock-free log-bucketed latency histograms), a bounded control-plane
+// event journal with an optional log/slog sink, and Prometheus-text
+// exposition. It is the measurement substrate every serving-path
+// package records into — the resolve hot path, the wire protocol, the
+// scheduler and the evaluator cache — so instruments must be cheap
+// enough to live inside paths the bench gate defends: every recording
+// operation is a handful of uncontended atomic adds, no locks, no
+// allocation, no time lookups of its own.
+//
+// Registration (naming an instrument) allocates and takes the
+// registry mutex; it happens at construction time. Recording (Add,
+// Set, Observe) never does. Exposition walks the instruments under
+// the registry mutex but reads their values atomically, so it can run
+// concurrently with recorders.
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// pad fills a cache line so adjacent shards never false-share.
+const padBytes = 56
+
+// Counter is a monotonically increasing sharded atomic counter.
+// Callers that know a natural shard key (source leaf, connection
+// index) spread their adds with AddAt; Add uses shard 0. Value sums
+// the shards.
+type Counter struct {
+	name, help string
+	shards     []counterShard
+	mask       uint64
+}
+
+type counterShard struct {
+	v atomic.Uint64
+	_ [padBytes]byte
+}
+
+// Add increments the counter by n on shard 0.
+func (c *Counter) Add(n uint64) { c.shards[0].v.Add(n) }
+
+// Inc increments the counter by one on shard 0.
+func (c *Counter) Inc() { c.Add(1) }
+
+// AddAt increments the counter by n on the shard selected by key
+// (masked into range), so concurrent writers with distinct keys never
+// contend on one cache line.
+func (c *Counter) AddAt(key uint64, n uint64) { c.shards[key&c.mask].v.Add(n) }
+
+// Value sums the shards.
+func (c *Counter) Value() uint64 {
+	var total uint64
+	for i := range c.shards {
+		total += c.shards[i].v.Load()
+	}
+	return total
+}
+
+// Name returns the registered metric name.
+func (c *Counter) Name() string { return c.name }
+
+func (c *Counter) write(w *bufio.Writer, header bool) {
+	writeHeader(w, header, c.name, c.help, "counter")
+	fmt.Fprintf(w, "%s %d\n", c.name, c.Value())
+}
+
+// Gauge is an instantaneous float64 value (generation number,
+// fragmentation, active connections).
+type Gauge struct {
+	name, help string
+	bits       atomic.Uint64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Add adds d to the gauge (CAS loop, safe for concurrent use).
+func (g *Gauge) Add(d float64) {
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Value returns the stored value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Name returns the registered metric name.
+func (g *Gauge) Name() string { return g.name }
+
+func (g *Gauge) write(w *bufio.Writer, header bool) {
+	writeHeader(w, header, g.name, g.help, "gauge")
+	fmt.Fprintf(w, "%s %s\n", g.name, formatFloat(g.Value()))
+}
+
+// funcMetric exposes a value computed at scrape time — the bridge for
+// subsystems that already keep their own atomics (the evaluator
+// cache's hit/miss counters) and should not double-count.
+type funcMetric struct {
+	name, help, kind string
+	fn               func() float64
+}
+
+func (f *funcMetric) write(w *bufio.Writer, header bool) {
+	writeHeader(w, header, f.name, f.help, f.kind)
+	fmt.Fprintf(w, "%s %s\n", f.name, formatFloat(f.fn()))
+}
+
+// metric is anything the registry can expose; header is false when an
+// earlier instrument with the same base name already emitted the
+// HELP/TYPE lines (constant-labelled siblings share one header).
+type metric interface {
+	write(w *bufio.Writer, header bool)
+}
+
+// Registry names and exposes a process's instruments. The zero value
+// is not ready; use NewRegistry. Safe for concurrent use.
+type Registry struct {
+	mu    sync.Mutex
+	order []string
+	byKey map[string]metric
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{byKey: make(map[string]metric)}
+}
+
+// register installs m under name, or returns the existing instrument
+// when the name is already taken. Re-registering a name as a
+// different instrument kind is a programming error and panics.
+func (r *Registry) register(name string, m metric) metric {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if prev, ok := r.byKey[name]; ok {
+		if fmt.Sprintf("%T", prev) != fmt.Sprintf("%T", m) {
+			panic(fmt.Sprintf("obs: %q re-registered as a different instrument kind", name))
+		}
+		return prev
+	}
+	r.byKey[name] = m
+	r.order = append(r.order, name)
+	return m
+}
+
+// Counter returns the counter registered under name, creating it with
+// the given shard count (rounded up to a power of two, minimum 1) on
+// first use. The name may carry a constant Prometheus label set
+// (`wire_frames_total` or `sched_placements_total{policy="linear"}`).
+func (r *Registry) Counter(name, help string, shards int) *Counter {
+	n := 1
+	for n < shards {
+		n <<= 1
+	}
+	c := &Counter{name: name, help: help, shards: make([]counterShard, n), mask: uint64(n - 1)}
+	return r.register(name, c).(*Counter)
+}
+
+// Gauge returns the gauge registered under name, creating it on first
+// use.
+func (r *Registry) Gauge(name, help string) *Gauge {
+	return r.register(name, &Gauge{name: name, help: help}).(*Gauge)
+}
+
+// CounterFunc exposes fn as a counter sampled at scrape time.
+func (r *Registry) CounterFunc(name, help string, fn func() uint64) {
+	r.register(name, &funcMetric{name: name, help: help, kind: "counter", fn: func() float64 { return float64(fn()) }})
+}
+
+// GaugeFunc exposes fn as a gauge sampled at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64) {
+	r.register(name, &funcMetric{name: name, help: help, kind: "gauge", fn: fn})
+}
+
+// Histogram returns the histogram registered under name, creating it
+// on first use.
+func (r *Registry) Histogram(name, help string) *Histogram {
+	return r.register(name, newHistogram(name, help)).(*Histogram)
+}
+
+// WritePrometheus writes every registered instrument in registration
+// order in the Prometheus text exposition format (version 0.0.4).
+// Instruments sharing a base name (constant-labelled variants) emit
+// one HELP/TYPE header for the first and bare samples after.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	metrics := make([]metric, len(names))
+	for i, n := range names {
+		metrics[i] = r.byKey[n]
+	}
+	r.mu.Unlock()
+	bw := bufio.NewWriter(w)
+	seen := make(map[string]bool)
+	for i, m := range metrics {
+		base := baseName(names[i])
+		m.write(bw, !seen[base])
+		seen[base] = true
+	}
+	return bw.Flush()
+}
+
+func writeHeader(w *bufio.Writer, emit bool, name, help, kind string) {
+	if !emit {
+		return
+	}
+	base := baseName(name)
+	if help != "" {
+		fmt.Fprintf(w, "# HELP %s %s\n", base, help)
+	}
+	fmt.Fprintf(w, "# TYPE %s %s\n", base, kind)
+}
+
+// baseName strips a constant label set from a metric name.
+func baseName(name string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '{' {
+			return name[:i]
+		}
+	}
+	return name
+}
+
+// labeledName splices a quantile label into a possibly-labelled name:
+// h_ns + 0.5 -> h_ns{quantile="0.5"}, h_ns{x="y"} -> h_ns{x="y",quantile="0.5"}.
+func labeledName(name, key, value string) string {
+	for i := 0; i < len(name); i++ {
+		if name[i] == '{' {
+			return name[:len(name)-1] + `,` + key + `="` + value + `"}`
+		}
+	}
+	return name + `{` + key + `="` + value + `"}`
+}
+
+// formatFloat renders floats the Prometheus way: integers without a
+// decimal point, everything else in shortest form.
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	return fmt.Sprintf("%g", v)
+}
+
+// Snapshot is a point-in-time read of every instrument, keyed by
+// metric name — quantile samples appear under labelled names exactly
+// as exposed. It is what cmd/fabrictop renders.
+type Snapshot map[string]float64
+
+// Snapshot reads every instrument. Histograms contribute their
+// quantiles, count, sum and max.
+func (r *Registry) Snapshot() Snapshot {
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	metrics := make([]metric, len(names))
+	for i, n := range names {
+		metrics[i] = r.byKey[n]
+	}
+	r.mu.Unlock()
+	snap := make(Snapshot, len(names))
+	for i, m := range metrics {
+		name := names[i]
+		switch v := m.(type) {
+		case *Counter:
+			snap[name] = float64(v.Value())
+		case *Gauge:
+			snap[name] = v.Value()
+		case *funcMetric:
+			snap[name] = v.fn()
+		case *Histogram:
+			for _, q := range exportQuantiles {
+				snap[labeledName(name, "quantile", q.label)] = float64(v.Quantile(q.q))
+			}
+			snap[name+"_count"] = float64(v.Count())
+			snap[name+"_sum"] = float64(v.Sum())
+			snap[name+"_max"] = float64(v.Max())
+		}
+	}
+	return snap
+}
+
+// Names returns the registered metric names in registration order.
+func (r *Registry) Names() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return append([]string(nil), r.order...)
+}

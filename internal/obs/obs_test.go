@@ -1,0 +1,163 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterAddAndShards(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_total", "help", 4)
+	if got := len(c.shards); got != 4 {
+		t.Fatalf("4 shards requested, got %d", got)
+	}
+	c.Add(3)
+	c.Inc()
+	for k := uint64(0); k < 64; k++ {
+		c.AddAt(k, 2)
+	}
+	if got, want := c.Value(), uint64(3+1+64*2); got != want {
+		t.Fatalf("Value() = %d, want %d", got, want)
+	}
+}
+
+func TestCounterShardRounding(t *testing.T) {
+	r := NewRegistry()
+	for _, tc := range []struct{ ask, want int }{
+		{0, 1}, {1, 1}, {2, 2}, {3, 4}, {5, 8}, {8, 8},
+	} {
+		c := r.Counter("round_total_"+strings.Repeat("x", tc.ask+1), "", tc.ask)
+		if len(c.shards) != tc.want {
+			t.Errorf("shards(%d) = %d, want %d", tc.ask, len(c.shards), tc.want)
+		}
+	}
+}
+
+func TestGauge(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("test_gauge", "help")
+	if g.Value() != 0 {
+		t.Fatalf("zero gauge reads %v", g.Value())
+	}
+	g.Set(2.5)
+	g.Add(-1)
+	if got := g.Value(); got != 1.5 {
+		t.Fatalf("gauge = %v, want 1.5", got)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("same_total", "h", 1)
+	b := r.Counter("same_total", "h", 8)
+	if a != b {
+		t.Fatalf("re-registration returned a different counter")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("re-registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("same_total", "h")
+}
+
+func TestRegistrySnapshot(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "", 1).Add(7)
+	r.Gauge("g", "").Set(0.25)
+	r.CounterFunc("cf_total", "", func() uint64 { return 11 })
+	r.GaugeFunc("gf", "", func() float64 { return -2 })
+	h := r.Histogram("h_ns", "")
+	h.Observe(5)
+	snap := r.Snapshot()
+	for name, want := range map[string]float64{
+		"c_total":               7,
+		"g":                     0.25,
+		"cf_total":              11,
+		"gf":                    -2,
+		`h_ns{quantile="0.5"}`:  5,
+		`h_ns{quantile="0.99"}`: 5,
+		"h_ns_count":            1,
+		"h_ns_sum":              5,
+		"h_ns_max":              5,
+	} {
+		if got, ok := snap[name]; !ok || got != want {
+			t.Errorf("snapshot[%q] = %v (present %v), want %v", name, got, ok, want)
+		}
+	}
+}
+
+func TestConcurrentRecording(t *testing.T) {
+	// Race-detector workout: all instrument kinds recorded from many
+	// goroutines while a reader scrapes. Totals must be exact for
+	// counters and histogram counts (atomic adds never drop).
+	r := NewRegistry()
+	c := r.Counter("conc_total", "", 8)
+	g := r.Gauge("conc_gauge", "")
+	h := r.Histogram("conc_ns", "")
+	const workers, perWorker = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				c.AddAt(uint64(w), 1)
+				g.Add(1)
+				h.Observe(int64(i % 1000))
+			}
+		}(w)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 100; i++ {
+			var sb strings.Builder
+			if err := r.WritePrometheus(&sb); err != nil {
+				t.Errorf("WritePrometheus: %v", err)
+				return
+			}
+			r.Snapshot()
+			h.Quantile(0.99)
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got, want := c.Value(), uint64(workers*perWorker); got != want {
+		t.Fatalf("counter = %d, want %d", got, want)
+	}
+	if got, want := h.Count(), uint64(workers*perWorker); got != want {
+		t.Fatalf("histogram count = %d, want %d", got, want)
+	}
+	if got, want := g.Value(), float64(workers*perWorker); got != want {
+		t.Fatalf("gauge = %v, want %v", got, want)
+	}
+}
+
+func TestBaseAndLabeledNames(t *testing.T) {
+	if got := baseName(`a_total{policy="x"}`); got != "a_total" {
+		t.Fatalf("baseName = %q", got)
+	}
+	if got := baseName("a_total"); got != "a_total" {
+		t.Fatalf("baseName = %q", got)
+	}
+	if got := labeledName("h", "quantile", "0.5"); got != `h{quantile="0.5"}` {
+		t.Fatalf("labeledName = %q", got)
+	}
+	if got := labeledName(`h{a="b"}`, "quantile", "0.5"); got != `h{a="b",quantile="0.5"}` {
+		t.Fatalf("labeledName = %q", got)
+	}
+}
+
+func TestFormatFloat(t *testing.T) {
+	for v, want := range map[float64]string{
+		3:    "3",
+		-2:   "-2",
+		0.25: "0.25",
+	} {
+		if got := formatFloat(v); got != want {
+			t.Errorf("formatFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

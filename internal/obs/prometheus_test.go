@@ -1,0 +1,87 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata golden files")
+
+// TestWritePrometheusGolden pins the exposition format byte-for-byte:
+// counters, gauges, func metrics, histograms-as-summaries, and
+// constant-labelled siblings sharing one header.
+func TestWritePrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("fabric_resolves_total", "routes served", 4).Add(42)
+	r.Counter(`sched_placements_total{policy="linear"}`, "jobs placed", 1).Add(3)
+	r.Counter(`sched_placements_total{policy="random"}`, "jobs placed", 1).Add(1)
+	r.Gauge("fabric_generation", "current generation sequence").Set(7)
+	r.Gauge("sched_fragmentation", "free-pool fragmentation").Set(0.25)
+	r.CounterFunc("evaluate_cache_hits_total", "memoized scores served", func() uint64 { return 9 })
+	r.GaugeFunc("wire_conns_active", "open connections", func() float64 { return 2 })
+	h := r.Histogram("fabric_resolve_batch_packed_ns", "packed batch resolve latency")
+	for v := int64(1); v <= 100; v++ {
+		h.Observe(v)
+	}
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (regenerate with -update-golden)", err)
+	}
+	if got != string(want) {
+		t.Fatalf("exposition drifted from %s (regenerate with -update-golden):\n--- got ---\n%s--- want ---\n%s", golden, got, want)
+	}
+}
+
+// TestWritePrometheusParses sanity-checks the format rules a scraper
+// relies on: every non-comment line is "name value", every TYPE
+// appears once per base name.
+func TestWritePrometheusParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`c_total{x="a"}`, "h", 1).Add(1)
+	r.Counter(`c_total{x="b"}`, "h", 1).Add(2)
+	r.Histogram("lat_ns", "h").Observe(10)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	types := map[string]int{}
+	for _, line := range strings.Split(strings.TrimRight(sb.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			types[parts[2]]++
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		if fields := strings.Fields(line); len(fields) != 2 {
+			t.Fatalf("sample line %q is not `name value`", line)
+		}
+	}
+	for name, n := range types {
+		if n != 1 {
+			t.Fatalf("TYPE for %q emitted %d times", name, n)
+		}
+	}
+}

@@ -19,10 +19,12 @@ package sched
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"repro/internal/dimemas"
 	"repro/internal/evaluate"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/xgft"
 )
@@ -48,6 +50,37 @@ type Config struct {
 	// policies; nil adopts the fabric's evaluator, so scheduler and
 	// optimizer judge "better" with the same backend by default.
 	Evaluator evaluate.Evaluator
+	// Metrics, when set, registers the sched_* instruments (placement
+	// counters and latency, pool gauges) on the registry.
+	Metrics *obs.Registry
+	// Journal, when set, receives job.submit / job.release /
+	// job.reject events.
+	Journal *obs.Journal
+}
+
+// schedMetrics are the registry instruments a scheduler records into.
+// The placements counter carries the policy as a constant label, so
+// side-by-side schedulers stay distinguishable on one registry.
+type schedMetrics struct {
+	placements    *obs.Counter
+	releases      *obs.Counter
+	rejections    *obs.Counter
+	placeNS       *obs.Histogram
+	jobs          *obs.Gauge
+	freeLeaves    *obs.Gauge
+	fragmentation *obs.Gauge
+}
+
+func newSchedMetrics(reg *obs.Registry, policy string) *schedMetrics {
+	return &schedMetrics{
+		placements:    reg.Counter(fmt.Sprintf("sched_placements_total{policy=%q}", policy), "jobs placed", 1),
+		releases:      reg.Counter("sched_releases_total", "jobs released", 1),
+		rejections:    reg.Counter("sched_rejections_total", "submissions rejected (capacity or invalid spec)", 1),
+		placeNS:       reg.Histogram("sched_place_ns", "placement decision latency"),
+		jobs:          reg.Gauge("sched_jobs", "active jobs"),
+		freeLeaves:    reg.Gauge("sched_free_leaves", "unallocated leaves"),
+		fragmentation: reg.Gauge("sched_fragmentation", "free-pool fragmentation (1 - largest_free/free)"),
+	}
 }
 
 // JobSpec describes a submission: a size and an application-style
@@ -134,6 +167,9 @@ type Scheduler struct {
 	seed   uint64
 	eval   evaluate.Evaluator
 
+	m       *schedMetrics
+	journal *obs.Journal
+
 	mu     sync.Mutex
 	nextID uint64
 	free   []bool // free[leaf]
@@ -170,6 +206,13 @@ func New(cfg Config) (*Scheduler, error) {
 	for i := range s.free {
 		s.free[i] = true
 	}
+	if cfg.Metrics != nil {
+		s.m = newSchedMetrics(cfg.Metrics, cfg.Policy.Name())
+	}
+	s.journal = cfg.Journal
+	s.mu.Lock()
+	s.poolGaugesLocked()
+	s.mu.Unlock()
 	return s, nil
 }
 
@@ -184,18 +227,19 @@ func (s *Scheduler) Policy() string { return s.policy.Name() }
 // spec.N leaves are free; any other error means the spec was invalid
 // or the policy misbehaved, and the pool is unchanged either way.
 func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+	start := time.Now()
 	if spec.N < 1 || spec.N > s.topo.Leaves() {
-		return nil, fmt.Errorf("sched: job size %d out of range [1,%d]", spec.N, s.topo.Leaves())
+		return nil, s.reject(spec, start, fmt.Errorf("sched: job size %d out of range [1,%d]", spec.N, s.topo.Leaves()))
 	}
 	for i, ph := range spec.Phases {
 		if ph == nil {
-			return nil, fmt.Errorf("sched: phase %d is nil", i)
+			return nil, s.reject(spec, start, fmt.Errorf("sched: phase %d is nil", i))
 		}
 		if ph.N != spec.N {
-			return nil, fmt.Errorf("sched: phase %d is over %d endpoints, want %d", i, ph.N, spec.N)
+			return nil, s.reject(spec, start, fmt.Errorf("sched: phase %d is over %d endpoints, want %d", i, ph.N, spec.N))
 		}
 		if err := ph.Validate(); err != nil {
-			return nil, fmt.Errorf("sched: phase %d: %w", i, err)
+			return nil, s.reject(spec, start, fmt.Errorf("sched: phase %d: %w", i, err))
 		}
 	}
 	all := unionPhases(spec.N, spec.Phases)
@@ -203,7 +247,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.nFree < spec.N {
-		return nil, fmt.Errorf("%w: %d requested, %d free", ErrNoCapacity, spec.N, s.nFree)
+		return nil, s.reject(spec, start, fmt.Errorf("%w: %d requested, %d free", ErrNoCapacity, spec.N, s.nFree))
 	}
 	id := s.nextID + 1
 	// Background traffic for pattern-aware policies: what the fabric
@@ -226,14 +270,14 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	}
 	leaves, err := s.policy.Place(req)
 	if err != nil {
-		return nil, fmt.Errorf("sched: policy %s: %w", s.policy.Name(), err)
+		return nil, s.reject(spec, start, fmt.Errorf("sched: policy %s: %w", s.policy.Name(), err))
 	}
 	if err := s.checkAllocationLocked(leaves, spec.N); err != nil {
-		return nil, fmt.Errorf("sched: policy %s returned an invalid allocation: %w", s.policy.Name(), err)
+		return nil, s.reject(spec, start, fmt.Errorf("sched: policy %s returned an invalid allocation: %w", s.policy.Name(), err))
 	}
 	mapping, err := dimemas.MappingFromLeaves(leaves, spec.N)
 	if err != nil {
-		return nil, fmt.Errorf("sched: policy %s returned an invalid allocation: %w", s.policy.Name(), err)
+		return nil, s.reject(spec, start, fmt.Errorf("sched: policy %s returned an invalid allocation: %w", s.policy.Name(), err))
 	}
 	job := &Job{
 		ID:     id,
@@ -255,12 +299,39 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	s.nextID = id
 	s.jobs[id] = job
 	s.order = append(s.order, id)
+	dur := time.Since(start)
+	if s.m != nil {
+		s.m.placements.Inc()
+		s.m.placeNS.Observe(dur.Nanoseconds())
+		s.poolGaugesLocked()
+	}
+	if s.journal != nil {
+		s.journal.Record("job.submit", dur, map[string]any{
+			"job": id, "name": spec.Name, "n": spec.N,
+			"policy": job.Policy, "leaves": job.Leaves, "free": s.nFree,
+		})
+	}
 	return job, nil
+}
+
+// reject is the Submit error path: count it, journal it, pass the
+// error through.
+func (s *Scheduler) reject(spec JobSpec, start time.Time, err error) error {
+	if s.m != nil {
+		s.m.rejections.Inc()
+	}
+	if s.journal != nil {
+		s.journal.Record("job.reject", time.Since(start), map[string]any{
+			"name": spec.Name, "n": spec.N, "error": err.Error(),
+		})
+	}
+	return err
 }
 
 // Release frees a job's leaves. Unknown IDs are an error (the job may
 // have already been released).
 func (s *Scheduler) Release(id uint64) error {
+	start := time.Now()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	job, ok := s.jobs[id]
@@ -277,6 +348,15 @@ func (s *Scheduler) Release(id uint64) error {
 			s.order = append(s.order[:i], s.order[i+1:]...)
 			break
 		}
+	}
+	if s.m != nil {
+		s.m.releases.Inc()
+		s.poolGaugesLocked()
+	}
+	if s.journal != nil {
+		s.journal.Record("job.release", time.Since(start), map[string]any{
+			"job": id, "name": job.Name, "n": job.N, "free": s.nFree,
+		})
 	}
 	return nil
 }
@@ -319,24 +399,43 @@ func (s *Scheduler) Snapshot() Snapshot {
 			Leaves: append([]int(nil), j.Leaves...),
 		})
 	}
+	snap.FreeBlocks, snap.LargestFree, snap.Fragmentation = s.censusLocked()
+	return snap
+}
+
+// censusLocked counts the maximal runs of contiguous free leaves and
+// the fragmentation figure derived from them.
+func (s *Scheduler) censusLocked() (blocks, largest int, frag float64) {
 	run := 0
 	for _, f := range s.free {
 		if f {
 			run++
 			if run == 1 {
-				snap.FreeBlocks++
+				blocks++
 			}
-			if run > snap.LargestFree {
-				snap.LargestFree = run
+			if run > largest {
+				largest = run
 			}
 		} else {
 			run = 0
 		}
 	}
-	if snap.Free > 0 {
-		snap.Fragmentation = 1 - float64(snap.LargestFree)/float64(snap.Free)
+	if s.nFree > 0 {
+		frag = 1 - float64(largest)/float64(s.nFree)
 	}
-	return snap
+	return blocks, largest, frag
+}
+
+// poolGaugesLocked refreshes the pool gauges after a placement or
+// release.
+func (s *Scheduler) poolGaugesLocked() {
+	if s.m == nil {
+		return
+	}
+	_, _, frag := s.censusLocked()
+	s.m.jobs.Set(float64(len(s.order)))
+	s.m.freeLeaves.Set(float64(s.nFree))
+	s.m.fragmentation.Set(frag)
 }
 
 // TenantPattern returns the union of every active job's leaf-space

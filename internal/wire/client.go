@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/xgft"
 )
 
@@ -20,6 +21,11 @@ const Unreachable = fabric.PackedUnreachable
 // buffers are owned by the client and reused, so a steady stream of
 // equal-size batches performs zero allocations per call.
 type Client struct {
+	// RTT, when set, observes one sample per ResolveBatchPacked round
+	// trip (request write through decoded response, in nanoseconds).
+	// Share one histogram across clients to aggregate; set before use.
+	RTT *obs.Histogram
+
 	conn    net.Conn
 	fr      *FrameReader
 	timeout time.Duration
@@ -65,6 +71,10 @@ func (c *Client) Close() error { return c.conn.Close() }
 // fabric.AppendPackedUp). The returned slice is reused by the next
 // call.
 func (c *Client) ResolveBatchPacked(pairs [][2]int) (generation uint64, packed []uint64, err error) {
+	var start time.Time
+	if c.RTT != nil {
+		start = time.Now()
+	}
 	c.wbuf, err = AppendResolveRequest(c.wbuf[:0], pairs)
 	if err != nil {
 		return 0, nil, err
@@ -95,6 +105,9 @@ func (c *Client) ResolveBatchPacked(pairs [][2]int) (generation uint64, packed [
 	}
 	if len(c.packed) != len(pairs) {
 		return 0, nil, fmt.Errorf("wire: response carries %d routes for %d pairs", len(c.packed), len(pairs))
+	}
+	if c.RTT != nil {
+		c.RTT.Observe(time.Since(start).Nanoseconds())
 	}
 	return generation, c.packed, nil
 }

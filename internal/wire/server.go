@@ -6,8 +6,12 @@ import (
 	"fmt"
 	"io"
 	"net"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // DefaultTimeout is the per-frame read/write deadline when
@@ -37,12 +41,85 @@ type Server struct {
 	// deadline; 0 means DefaultTimeout. Tests use short values to
 	// exercise the slow-loris path quickly.
 	Timeout time.Duration
+	// Metrics, when set, registers the wire_* instruments (frames,
+	// bytes, deadline cuts, connection counts, request latency) on the
+	// registry. Per-connection stats are kept either way.
+	Metrics *obs.Registry
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{}
-	conns     map[net.Conn]struct{}
+	conns     map[net.Conn]*connState
 	closed    bool
 	wg        sync.WaitGroup
+	m         *serverMetrics
+	connSeq   atomic.Uint64
+}
+
+// serverMetrics are the registry instruments a Server records into.
+// Counters shard by connection id, so busy peers do not contend.
+type serverMetrics struct {
+	frames       *obs.Counter
+	bytesRead    *obs.Counter
+	bytesWritten *obs.Counter
+	deadlineCuts *obs.Counter
+	conns        *obs.Counter
+	connsActive  *obs.Gauge
+	requestNS    *obs.Histogram
+}
+
+func newServerMetrics(reg *obs.Registry) *serverMetrics {
+	return &serverMetrics{
+		frames:       reg.Counter("wire_frames_total", "resolve request frames served", 8),
+		bytesRead:    reg.Counter("wire_bytes_read_total", "bytes read from resolve peers", 8),
+		bytesWritten: reg.Counter("wire_bytes_written_total", "bytes written to resolve peers", 8),
+		deadlineCuts: reg.Counter("wire_deadline_cuts_total", "connections cut by a read/write deadline", 1),
+		conns:        reg.Counter("wire_conns_total", "connections accepted", 1),
+		connsActive:  reg.Gauge("wire_conns_active", "connections currently open"),
+		requestNS:    reg.Histogram("wire_request_ns", "server-side resolve service time (decode, resolve, respond)"),
+	}
+}
+
+// connState is one connection's live stat block, updated with atomics
+// on the serve path and snapshotted by ConnStats.
+type connState struct {
+	id           uint64
+	remote       string
+	frames       atomic.Uint64
+	bytesRead    atomic.Uint64
+	bytesWritten atomic.Uint64
+	deadlineCuts atomic.Uint64
+}
+
+// ConnStats is a point-in-time snapshot of one open connection.
+type ConnStats struct {
+	RemoteAddr   string `json:"remote_addr"`
+	Frames       uint64 `json:"frames"`
+	BytesRead    uint64 `json:"bytes_read"`
+	BytesWritten uint64 `json:"bytes_written"`
+	DeadlineCuts uint64 `json:"deadline_cuts"`
+}
+
+// ConnStats snapshots every open connection's counters, ordered by
+// accept order (oldest first).
+func (s *Server) ConnStats() []ConnStats {
+	s.mu.Lock()
+	states := make([]*connState, 0, len(s.conns))
+	for _, st := range s.conns {
+		states = append(states, st)
+	}
+	s.mu.Unlock()
+	sort.Slice(states, func(i, j int) bool { return states[i].id < states[j].id })
+	out := make([]ConnStats, len(states))
+	for i, st := range states {
+		out[i] = ConnStats{
+			RemoteAddr:   st.remote,
+			Frames:       st.frames.Load(),
+			BytesRead:    st.bytesRead.Load(),
+			BytesWritten: st.bytesWritten.Load(),
+			DeadlineCuts: st.deadlineCuts.Load(),
+		}
+	}
+	return out
 }
 
 // ErrServerClosed is returned by Serve after Close.
@@ -55,27 +132,45 @@ func (s *Server) timeout() time.Duration {
 	return DefaultTimeout
 }
 
-// track registers a listener or connection for Close; it reports
-// false (and closes nothing) when the server is already closed.
-func (s *Server) track(l net.Listener, c net.Conn) bool {
+// track registers a listener for Close; it reports false (and closes
+// nothing) when the server is already closed.
+func (s *Server) track(l net.Listener) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return false
 	}
-	if l != nil {
-		if s.listeners == nil {
-			s.listeners = make(map[net.Listener]struct{})
-		}
-		s.listeners[l] = struct{}{}
+	if s.m == nil && s.Metrics != nil {
+		s.m = newServerMetrics(s.Metrics)
 	}
-	if c != nil {
-		if s.conns == nil {
-			s.conns = make(map[net.Conn]struct{})
-		}
-		s.conns[c] = struct{}{}
+	if s.listeners == nil {
+		s.listeners = make(map[net.Listener]struct{})
 	}
+	s.listeners[l] = struct{}{}
 	return true
+}
+
+// trackConn registers a connection for Close and allocates its stat
+// block; it reports false when the server is already closed.
+func (s *Server) trackConn(c net.Conn) (*connState, bool) {
+	st := &connState{id: s.connSeq.Add(1)}
+	if addr := c.RemoteAddr(); addr != nil {
+		st.remote = addr.String()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, false
+	}
+	if s.conns == nil {
+		s.conns = make(map[net.Conn]*connState)
+	}
+	s.conns[c] = st
+	if s.m != nil {
+		s.m.conns.Inc()
+		s.m.connsActive.Add(1)
+	}
+	return st, true
 }
 
 func (s *Server) untrack(l net.Listener, c net.Conn) {
@@ -85,6 +180,9 @@ func (s *Server) untrack(l net.Listener, c net.Conn) {
 		delete(s.listeners, l)
 	}
 	if c != nil {
+		if _, ok := s.conns[c]; ok && s.m != nil {
+			s.m.connsActive.Add(-1)
+		}
 		delete(s.conns, c)
 	}
 }
@@ -96,7 +194,7 @@ func (s *Server) Serve(l net.Listener) error {
 		l.Close()
 		return errors.New("wire: Server.Resolver is required")
 	}
-	if !s.track(l, nil) {
+	if !s.track(l) {
 		l.Close()
 		return ErrServerClosed
 	}
@@ -115,7 +213,8 @@ func (s *Server) Serve(l net.Listener) error {
 			}
 			return fmt.Errorf("wire: accept: %w", err)
 		}
-		if !s.track(nil, conn) {
+		st, ok := s.trackConn(conn)
+		if !ok {
 			conn.Close()
 			return ErrServerClosed
 		}
@@ -123,7 +222,7 @@ func (s *Server) Serve(l net.Listener) error {
 		go func() {
 			defer s.wg.Done()
 			defer s.untrack(nil, conn)
-			s.serveConn(conn)
+			s.serveConn(conn, st)
 		}()
 	}
 }
@@ -149,20 +248,69 @@ func (s *Server) Close() error {
 	return nil
 }
 
+// countingReader feeds the connection's bufio reader while crediting
+// bytes to the per-connection stat block and the registry counter.
+type countingReader struct {
+	conn net.Conn
+	st   *connState
+	m    *serverMetrics
+}
+
+func (r *countingReader) Read(p []byte) (int, error) {
+	n, err := r.conn.Read(p)
+	if n > 0 {
+		r.st.bytesRead.Add(uint64(n))
+		if r.m != nil {
+			r.m.bytesRead.AddAt(r.st.id, uint64(n))
+		}
+	}
+	return n, err
+}
+
+// deadlineCut reports whether err is a deadline expiry (as opposed to
+// a peer disconnect or protocol fault).
+func deadlineCut(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
 // serveConn is the per-connection request loop; every buffer it needs
-// is allocated once here and reused for the connection's lifetime.
-func (s *Server) serveConn(conn net.Conn) {
+// is allocated once here and reused for the connection's lifetime, so
+// the steady state — metrics included — allocates nothing per frame.
+func (s *Server) serveConn(conn net.Conn, st *connState) {
 	defer conn.Close()
 	timeout := s.timeout()
-	fr := NewFrameReader(bufio.NewReaderSize(conn, 64<<10))
+	m := s.m
+	fr := NewFrameReader(bufio.NewReaderSize(&countingReader{conn: conn, st: st, m: m}, 64<<10))
 	pairs := make([][2]int, 0, 1024)
 	packed := make([]uint64, 0, 1024)
 	wbuf := make([]byte, 0, 16<<10)
+	cut := func(err error) {
+		if deadlineCut(err) {
+			st.deadlineCuts.Add(1)
+			if m != nil {
+				m.deadlineCuts.Inc()
+			}
+		}
+	}
+	write := func(buf []byte) error {
+		conn.SetWriteDeadline(time.Now().Add(timeout))
+		n, err := conn.Write(buf)
+		if n > 0 {
+			st.bytesWritten.Add(uint64(n))
+			if m != nil {
+				m.bytesWritten.AddAt(st.id, uint64(n))
+			}
+		}
+		if err != nil {
+			cut(err)
+		}
+		return err
+	}
 	fail := func(code byte, msg string) {
 		// Best-effort: the peer may already be gone, and the
 		// connection closes either way.
-		conn.SetWriteDeadline(time.Now().Add(timeout))
-		conn.Write(AppendError(wbuf[:0], code, msg))
+		write(AppendError(wbuf[:0], code, msg))
 	}
 	for {
 		conn.SetReadDeadline(time.Now().Add(timeout))
@@ -171,6 +319,7 @@ func (s *Server) serveConn(conn net.Conn) {
 			// A clean close between frames needs no error frame; a
 			// malformed header gets one so the peer can tell protocol
 			// rejection from a network fault.
+			cut(err)
 			if err == io.EOF {
 				return
 			}
@@ -180,6 +329,10 @@ func (s *Server) serveConn(conn net.Conn) {
 			}
 			fail(code, err.Error())
 			return
+		}
+		var start time.Time
+		if m != nil {
+			start = time.Now()
 		}
 		if typ != TypeResolveRequest {
 			fail(ErrCodeBadType, fmt.Sprintf("unexpected frame type %d (want resolve request)", typ))
@@ -200,9 +353,13 @@ func (s *Server) serveConn(conn net.Conn) {
 			fail(ErrCodeServer, err.Error())
 			return
 		}
-		conn.SetWriteDeadline(time.Now().Add(timeout))
-		if _, err := conn.Write(wbuf); err != nil {
+		if err := write(wbuf); err != nil {
 			return
+		}
+		st.frames.Add(1)
+		if m != nil {
+			m.frames.AddAt(st.id, 1)
+			m.requestNS.Observe(time.Since(start).Nanoseconds())
 		}
 	}
 }

@@ -31,7 +31,12 @@
 //   - the multi-tenant job scheduler: fragmentation-aware placement
 //     of jobs (size + traffic profile) onto the fabric's leaf pool
 //     via pluggable policies, with placement-triggered
-//     re-optimization over the combined tenant pattern.
+//     re-optimization over the combined tenant pattern,
+//   - the observability layer (internal/obs): a zero-allocation
+//     metrics registry and a bounded control-plane event journal,
+//     wired through the fabric, the wire server, the scheduler and
+//     the cached evaluator, exposed by fabricd and rendered live by
+//     cmd/fabrictop.
 //
 // Quick start:
 //
@@ -48,6 +53,7 @@ import (
 	"repro/internal/eventq"
 	"repro/internal/experiments"
 	"repro/internal/fabric"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -278,6 +284,29 @@ var (
 	// MappingFromLeaves places rank r on leaves[r] (the replay-side
 	// counterpart of a scheduler allocation).
 	MappingFromLeaves = dimemas.MappingFromLeaves
+)
+
+// MetricsRegistry is the zero-allocation metrics registry every
+// serving layer records into (FabricConfig.Metrics,
+// SchedulerConfig.Metrics, wire.Server.Metrics); WritePrometheus
+// renders the text exposition format.
+type MetricsRegistry = obs.Registry
+
+// EventJournal is the bounded control-plane event ring
+// (FabricConfig.Journal, SchedulerConfig.Journal): generation swaps,
+// optimize decisions, job lifecycle.
+type EventJournal = obs.Journal
+
+// ControlEvent is one journaled control-plane event.
+type ControlEvent = obs.Event
+
+// Observability constructors (see internal/obs and cmd/fabrictop).
+var (
+	// NewMetricsRegistry builds an empty metrics registry.
+	NewMetricsRegistry = obs.NewRegistry
+	// NewEventJournal builds a bounded event journal; the optional
+	// slog logger mirrors every event to the log stream.
+	NewEventJournal = obs.NewJournal
 )
 
 // Pattern constructors.
