@@ -3,6 +3,7 @@ package repro_test
 import (
 	"bufio"
 	"bytes"
+	"encoding/json"
 	"io"
 	"net/http"
 	"os/exec"
@@ -184,6 +185,65 @@ func TestCLISmoke(t *testing.T) {
 		for _, want := range []string{"fabric", "sched", "generation.swap"} {
 			if !strings.Contains(out.String(), want) {
 				t.Fatalf("fabrictop frame lacks %q:\n%s", want, out.String())
+			}
+		}
+	})
+
+	// Static-analysis smoke: repolint over the real module must be
+	// clean (the CI job depends on this), a seeded-violation fixture
+	// must fail, and -json must emit machine-readable findings.
+	t.Run("repolint", func(t *testing.T) {
+		lint := filepath.Join(bin, "repolint")
+
+		out, err := exec.Command(lint, "./...").CombinedOutput()
+		if err != nil {
+			t.Fatalf("repolint ./... found violations in the tree: %v\n%s", err, out)
+		}
+
+		if out, err := exec.Command(lint, "-list").Output(); err != nil {
+			t.Fatalf("repolint -list: %v", err)
+		} else {
+			for _, name := range []string{"nondeterminism", "hotpath", "locks", "obskeys", "banned"} {
+				if !strings.Contains(string(out), name) {
+					t.Fatalf("repolint -list lacks analyzer %q:\n%s", name, out)
+				}
+			}
+		}
+
+		fixture := filepath.Join("internal", "lint", "testdata", "src", "fixture", "bannedfix") + "/..."
+		var stdout, stderr bytes.Buffer
+		bad := exec.Command(lint, fixture)
+		bad.Stdout = &stdout
+		bad.Stderr = &stderr
+		if err := bad.Run(); err == nil {
+			t.Fatalf("repolint exited 0 on the bannedfix fixture:\n%s", stdout.String())
+		}
+		if !strings.Contains(stdout.String(), "[banned]") {
+			t.Fatalf("repolint fixture findings lack [banned]:\n%s", stdout.String())
+		}
+
+		stdout.Reset()
+		js := exec.Command(lint, "-json", fixture)
+		js.Stdout = &stdout
+		js.Stderr = &bytes.Buffer{}
+		if err := js.Run(); err == nil {
+			t.Fatal("repolint -json exited 0 on the bannedfix fixture")
+		}
+		var findings []struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Message  string `json:"message"`
+		}
+		if err := json.Unmarshal(stdout.Bytes(), &findings); err != nil {
+			t.Fatalf("repolint -json output does not parse: %v\n%s", err, stdout.String())
+		}
+		if len(findings) != 3 {
+			t.Fatalf("repolint -json reported %d findings on bannedfix, want 3:\n%s", len(findings), stdout.String())
+		}
+		for _, f := range findings {
+			if f.Analyzer != "banned" || f.File == "" || f.Line == 0 || f.Message == "" {
+				t.Fatalf("malformed -json finding: %+v", f)
 			}
 		}
 	})

@@ -1,0 +1,114 @@
+// Command repolint runs the repo's custom static analyzers (package
+// internal/lint) over the module and exits nonzero on any finding.
+//
+// Usage:
+//
+//	repolint [-json] [-list] [pattern ...]
+//
+// Patterns default to ./... (the whole module, fixtures excluded).
+// -json emits machine-readable findings for tooling; -list prints the
+// analyzer inventory and exits.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"repro/internal/lint"
+)
+
+// jsonFinding is the -json wire form of one diagnostic.
+type jsonFinding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Column   int    `json:"column"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit findings as JSON for tooling")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.Analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, module, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := lint.Load(root, module, patterns)
+	if err != nil {
+		fatal(err)
+	}
+	findings, suppressed := prog.Run(lint.Analyzers)
+
+	if *jsonOut {
+		out := make([]jsonFinding, 0, len(findings))
+		for _, f := range findings {
+			out = append(out, jsonFinding{
+				File:     relPath(cwd, f.Pos.Filename),
+				Line:     f.Pos.Line,
+				Column:   f.Pos.Column,
+				Analyzer: f.Analyzer,
+				Message:  f.Message,
+			})
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(out); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, f := range findings {
+			f.Pos.Filename = relPath(cwd, f.Pos.Filename)
+			fmt.Println(f)
+		}
+	}
+
+	if len(suppressed) > 0 {
+		names := make([]string, 0, len(suppressed))
+		for name := range suppressed {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			fmt.Fprintf(os.Stderr, "repolint: %d finding(s) suppressed by //lint:allow %s\n", suppressed[name], name)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "repolint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}
+
+// relPath renders a finding path relative to the working directory
+// when that is shorter, matching how go vet prints positions.
+func relPath(cwd, path string) string {
+	if rel, err := filepath.Rel(cwd, path); err == nil && len(rel) < len(path) {
+		return rel
+	}
+	return path
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "repolint:", err)
+	os.Exit(1)
+}

@@ -75,12 +75,21 @@ type loadMetrics struct {
 	requested *obs.Counter
 }
 
+// Metric names, as constants so repolint's obskeys pass can tie the
+// inventory to the code.
+const (
+	metricBatchRTT  = "resolveload_batch_rtt_ns"
+	metricBatches   = "resolveload_batches_total"
+	metricResolved  = "resolveload_resolved_total"
+	metricRequested = "resolveload_requested_total"
+)
+
 func newLoadMetrics(reg *obs.Registry, conns int) *loadMetrics {
 	return &loadMetrics{
-		rtt:       reg.Histogram("resolveload_batch_rtt_ns", "client-observed batch round-trip latency"),
-		batches:   reg.Counter("resolveload_batches_total", "batches completed", conns),
-		resolved:  reg.Counter("resolveload_resolved_total", "pairs resolved", conns),
-		requested: reg.Counter("resolveload_requested_total", "pairs requested", conns),
+		rtt:       reg.Histogram(metricBatchRTT, "client-observed batch round-trip latency"),
+		batches:   reg.Counter(metricBatches, "batches completed", conns),
+		resolved:  reg.Counter(metricResolved, "pairs resolved", conns),
+		requested: reg.Counter(metricRequested, "pairs requested", conns),
 	}
 }
 

@@ -2,6 +2,7 @@ package contention
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/xgft"
 )
@@ -54,7 +55,19 @@ func VerifyDeadlockFree(t *xgft.Topology, routes []xgft.Route) error {
 		node dirChannel
 		next int
 	}
+	// DFS roots in sorted order so the cycle a faulty route set is
+	// reported through does not depend on map iteration order.
+	starts := make([]dirChannel, 0, len(adj))
 	for start := range adj {
+		starts = append(starts, start)
+	}
+	sort.Slice(starts, func(i, j int) bool {
+		if starts[i].wire != starts[j].wire {
+			return starts[i].wire < starts[j].wire
+		}
+		return !starts[i].up && starts[j].up
+	})
+	for _, start := range starts {
 		if color[start] != white {
 			continue
 		}

@@ -226,7 +226,7 @@ func (e *Engine) advance(rs *rankState) {
 				e.advance(other)
 			}
 		default:
-			panic(fmt.Sprintf("dimemas: unhandled op %T", op))
+			panic(fmt.Sprintf("dimemas: unhandled op %T", op)) //lint:allow banned unreachable unless a new op type is added without a case
 		}
 	}
 }
@@ -248,7 +248,7 @@ func (e *Engine) inject(rs *rankState, dstRank int, bytes int64, tag int, onSent
 	if err := e.sim.Inject(m); err != nil {
 		// Routes were validated at build time; this is a programming
 		// error, not an input error.
-		panic(fmt.Sprintf("dimemas: inject failed: %v", err))
+		panic(fmt.Sprintf("dimemas: inject failed: %v", err)) //lint:allow banned routes validated at build time; failure is a programming error
 	}
 }
 
@@ -275,13 +275,20 @@ func (e *Engine) tryConsume(rs *rankState, src, tag int) bool {
 		}
 		return false
 	}
+	// AnySource: match the arrived message with the lowest source rank,
+	// not whichever map iteration yields first — the choice feeds back
+	// into later specific-source receives, so it must be deterministic.
+	best := msgKey{src: -1}
 	for k, n := range rs.arrived {
-		if n > 0 && k.tag == tag {
-			rs.arrived[k]--
-			return true
+		if n > 0 && k.tag == tag && (best.src < 0 || k.src < best.src) {
+			best = k
 		}
 	}
-	return false
+	if best.src < 0 {
+		return false
+	}
+	rs.arrived[best]--
+	return true
 }
 
 // Time returns the current simulated time (useful mid-replay).

@@ -58,9 +58,9 @@ type CachedEvaluator struct {
 	scoreNS   atomic.Pointer[obs.Histogram]
 
 	mu       sync.Mutex
-	entries  map[scoreKey]Result
-	order    []scoreKey
-	inflight map[scoreKey]*inflightScore
+	entries  map[scoreKey]Result         // guarded by mu
+	order    []scoreKey                  // guarded by mu
+	inflight map[scoreKey]*inflightScore // guarded by mu
 }
 
 // NewCached wraps an evaluator with a memoizing, coalescing cache
@@ -75,16 +75,23 @@ func NewCached(inner Evaluator, capacity int) *CachedEvaluator {
 	}
 }
 
+const (
+	metricCacheHits      = "evaluate_cache_hits_total"
+	metricCacheMisses    = "evaluate_cache_misses_total"
+	metricCacheCoalesced = "evaluate_cache_coalesced_total"
+	metricScoreNS        = "evaluate_score_ns"
+)
+
 // Instrument registers the evaluate_* instruments on the registry:
 // hit/miss/coalesce counters sampled at scrape time from the cache's
 // own atomics, plus a latency histogram over backend computations
 // (cache hits are not observed — they are the point of the cache).
 // Call once per registry, before concurrent use.
 func (c *CachedEvaluator) Instrument(reg *obs.Registry) {
-	reg.CounterFunc("evaluate_cache_hits_total", "evaluations served from the memo", func() uint64 { return c.hits.Load() })
-	reg.CounterFunc("evaluate_cache_misses_total", "evaluations computed by the backend", func() uint64 { return c.misses.Load() })
-	reg.CounterFunc("evaluate_cache_coalesced_total", "evaluations served by waiting on an identical in-flight call", func() uint64 { return c.coalesced.Load() })
-	c.scoreNS.Store(reg.Histogram("evaluate_score_ns", "backend score latency (cache misses only)"))
+	reg.CounterFunc(metricCacheHits, "evaluations served from the memo", func() uint64 { return c.hits.Load() })
+	reg.CounterFunc(metricCacheMisses, "evaluations computed by the backend", func() uint64 { return c.misses.Load() })
+	reg.CounterFunc(metricCacheCoalesced, "evaluations served by waiting on an identical in-flight call", func() uint64 { return c.coalesced.Load() })
+	c.scoreNS.Store(reg.Histogram(metricScoreNS, "backend score latency (cache misses only)"))
 }
 
 // Name reports the wrapped backend's name: a cache changes cost, not
@@ -194,11 +201,11 @@ func (c *CachedEvaluator) memoized(key scoreKey, compute func() (Result, error))
 		c.mu.Unlock()
 		close(fl.done)
 	}()
-	start := time.Now()
+	start := time.Now() //lint:allow nondeterminism backend latency measurement is observational (histogram only)
 	fl.res, fl.err = compute()
 	completed = true
 	if h := c.scoreNS.Load(); h != nil {
-		h.Observe(time.Since(start).Nanoseconds())
+		h.Observe(time.Since(start).Nanoseconds()) //lint:allow nondeterminism backend latency measurement is observational (histogram only)
 	}
 	return fl.res, fl.err
 }

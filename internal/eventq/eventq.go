@@ -37,7 +37,7 @@ func (q *Queue) Processed() uint64 { return q.ran }
 // programming error and panics: it would silently corrupt causality.
 func (q *Queue) At(t Time, fn func()) {
 	if t < q.now {
-		panic("eventq: scheduling into the past")
+		panic("eventq: scheduling into the past") //lint:allow banned causality violation is a programming error, not an input error
 	}
 	q.seq++
 	q.events = append(q.events, event{at: t, seq: q.seq, fn: fn})

@@ -67,7 +67,7 @@ func CGApp() *App {
 		phases: func(bytes int64) []*pattern.Pattern {
 			phases, err := pattern.CGPhases(128, bytes)
 			if err != nil {
-				panic(err) // unreachable: 128 is valid
+				panic(err) //lint:allow banned unreachable: 128 is a valid rank count
 			}
 			return phases
 		},

@@ -96,6 +96,8 @@ func packedRouteOK(v *xgft.View, t *xgft.Topology, src, dst int, packed uint64) 
 
 // unpackRoute decodes a packed ascent back into per-level up-ports
 // (the inverse of packRoute for a reachable pair).
+//
+//repro:hotpath
 func unpackRoute(packed uint64) []int {
 	l := int(packed >> levelShift)
 	up := make([]int, l)
@@ -138,6 +140,8 @@ func (g *Generation) View() *xgft.View { return g.view }
 // Resolve returns the installed route for the pair. ok is false when
 // the pair is out of range or currently unreachable; src == dst
 // resolves to the empty route.
+//
+//repro:hotpath
 func (g *Generation) Resolve(src, dst int) (r xgft.Route, ok bool) {
 	n := g.topo.Leaves()
 	if src < 0 || src >= n || dst < 0 || dst >= n {
@@ -160,6 +164,8 @@ func (g *Generation) Resolve(src, dst int) (r xgft.Route, ok bool) {
 // as pairs. The ascent slices of one batch share a single backing
 // arena (each route owns a full-capacity subrange), so bulk
 // resolution pays one allocation per call instead of one per route.
+//
+//repro:hotpath
 func (g *Generation) ResolveBatch(pairs [][2]int, out []xgft.Route) (resolved int) {
 	n := g.topo.Leaves()
 	arena := make([]int, len(pairs)*g.topo.Height())
@@ -198,6 +204,8 @@ func (g *Generation) ResolveBatch(pairs [][2]int, out []xgft.Route) (resolved in
 // PackedUnreachable; self pairs get 0 (the empty ascent). Unlike
 // ResolveBatch there is no arena to fill, so the call performs zero
 // allocations.
+//
+//repro:hotpath
 func (g *Generation) ResolveBatchPacked(pairs [][2]int, out []uint64) (resolved int) {
 	n := g.topo.Leaves()
 	for i, p := range pairs {

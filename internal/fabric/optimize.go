@@ -108,12 +108,12 @@ func (f *Fabric) Optimize(cfg OptimizeConfig) (res OptimizeResult, err error) {
 		return OptimizeResult{}, fmt.Errorf("fabric: telemetry is disabled (enable Config.Telemetry)")
 	}
 	cfg = cfg.withDefaults()
-	start := time.Now()
+	start := time.Now() //lint:allow nondeterminism optimizer wall time is observational (journal only)
 	// The decision event records what the pass saw and what it decided
 	// — every candidate's score, the winner, and the threshold verdict
 	// — or the failure that aborted it. It lands after the swap event
 	// publish fires, so a journal tail reads swap-then-why.
-	defer func() { f.journalOptimize(res, err, cfg.Threshold, time.Since(start)) }()
+	defer func() { f.journalOptimize(res, err, cfg.Threshold, time.Since(start)) }() //lint:allow nondeterminism optimizer wall time is observational (journal only)
 	f.mu.Lock()
 	defer f.mu.Unlock()
 
@@ -188,14 +188,14 @@ func (f *Fabric) journalOptimize(res OptimizeResult, err error, threshold float6
 		return
 	}
 	if err != nil {
-		f.journal.Record("optimize.error", dur, map[string]any{"error": err.Error()})
+		f.journal.Record(eventOptimizeError, dur, map[string]any{"error": err.Error()})
 		return
 	}
 	cands := make([]map[string]any, len(res.Candidates))
 	for i, c := range res.Candidates {
 		cands[i] = map[string]any{"algo": c.Algo, "slowdown": c.Slowdown}
 	}
-	f.journal.Record("optimize", dur, map[string]any{
+	f.journal.Record(eventOptimize, dur, map[string]any{
 		"pairs": res.Pairs, "resolves": res.Resolves,
 		"current": res.Current, "candidates": cands,
 		"best": res.Best, "best_slowdown": res.BestSlowdown,
@@ -249,7 +249,7 @@ func (f *Fabric) scoreRoutes(obs *pattern.Pattern, route func(s, d int) (xgft.Ro
 // sentinel. The result must pass VerifyDeadlockFree or installation
 // is refused.
 func (f *Fabric) genFromTable(tbl *core.Table, view *xgft.View, seq uint64, algoName string) (*Generation, error) {
-	start := time.Now()
+	start := time.Now() //lint:allow nondeterminism candidate build time is observational (journal/metrics only)
 	patched, st, err := core.PatchTable(tbl, view)
 	if err != nil {
 		return nil, err
@@ -284,6 +284,6 @@ func (f *Fabric) genFromTable(tbl *core.Table, view *xgft.View, seq uint64, algo
 	if err := contention.VerifyDeadlockFree(f.topo, gen.Routes()); err != nil {
 		return nil, fmt.Errorf("fabric: candidate table rejected: %w", err)
 	}
-	gen.stats.BuildTime = time.Since(start)
+	gen.stats.BuildTime = time.Since(start) //lint:allow nondeterminism candidate build time is observational (journal/metrics only)
 	return gen, nil
 }

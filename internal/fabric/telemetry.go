@@ -35,6 +35,8 @@ func newTelemetry(n int) *Telemetry {
 
 // record bumps the pair's counter. Callers guarantee bounds and
 // src != dst (self-pairs carry no network traffic).
+//
+//repro:hotpath
 func (t *Telemetry) record(src, dst int) {
 	atomic.AddUint64(&t.rows[src][dst], 1)
 }

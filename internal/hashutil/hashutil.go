@@ -57,7 +57,7 @@ func (s *Stream) Next() uint64 {
 // is negligible for the small n these streams feed (n << 2^64).
 func (s *Stream) Intn(n int) int {
 	if n <= 0 {
-		panic("hashutil: Intn with non-positive n")
+		panic("hashutil: Intn with non-positive n") //lint:allow banned precondition violation is a programming error
 	}
 	return int(s.Next() % uint64(n))
 }

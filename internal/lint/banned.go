@@ -1,0 +1,141 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"strings"
+)
+
+// BannedAnalyzer is the table-driven banned-symbol pass. Each row
+// names one symbol (a function call, a builtin, or an import) and the
+// package class it is banned in; extending the policy is adding a row.
+var BannedAnalyzer = &Analyzer{
+	Name: "banned",
+	Doc:  "table-driven banned symbols: os.Exit outside cmd/*, reflect outside tests, panic in library non-init paths",
+	Run:  runBanned,
+}
+
+// bannedRule is one row of the policy table.
+type bannedRule struct {
+	// kind is "call" (qualified function call), "import" (package
+	// import), or "builtin" (builtin-like identifier call).
+	kind string
+	// symbol: "os.Exit" for calls, "reflect" for imports, "panic" for
+	// builtins.
+	symbol string
+	// exempt reports whether this use is outside the rule's scope.
+	exempt func(ctx bannedContext) bool
+	// reason completes "…: <reason>" in the finding message.
+	reason string
+}
+
+// bannedContext is what a rule's exemption predicate can see.
+type bannedContext struct {
+	pkg      *Package
+	test     bool   // the use is in a _test.go file
+	cmd      bool   // the package lives under cmd/
+	funcName string // enclosing function name ("" at package scope)
+	inInit   bool   // enclosing function is init or a main.main path
+}
+
+// bannedRules is the policy. Add a row to ban a new symbol; the row
+// is the review record for why.
+var bannedRules = []bannedRule{
+	{
+		kind:   "call",
+		symbol: "os.Exit",
+		exempt: func(ctx bannedContext) bool { return ctx.cmd || ctx.test },
+		reason: "library code must return errors so callers (and tests) see them; only cmd/* may decide the process exit code",
+	},
+	{
+		kind:   "import",
+		symbol: "reflect",
+		exempt: func(ctx bannedContext) bool { return ctx.test },
+		reason: "reflection defeats the static analyzers and costs allocations; shipped code uses concrete types",
+	},
+	{
+		kind:   "builtin",
+		symbol: "panic",
+		exempt: func(ctx bannedContext) bool { return ctx.test || ctx.cmd || ctx.inInit },
+		reason: "library non-init paths must return errors; a panic in the resolve or scoring path takes down the whole fabricd process",
+	},
+}
+
+func runBanned(prog *Program, pkg *Package) []Finding {
+	var findings []Finding
+	cmd := strings.HasPrefix(pkg.Path, prog.Module+"/cmd/") || pkg.Path == prog.Module+"/cmd"
+	for _, file := range pkg.Files {
+		test := isTestFile(pkg.Position(file.Pos()))
+		ctx := bannedContext{pkg: pkg, test: test, cmd: cmd}
+
+		for _, rule := range bannedRules {
+			if rule.kind != "import" {
+				continue
+			}
+			for _, imp := range file.Imports {
+				if strings.Trim(imp.Path.Value, `"`) != rule.symbol {
+					continue
+				}
+				if rule.exempt(ctx) {
+					continue
+				}
+				findings = append(findings, Finding{
+					Pos:      pkg.Position(imp.Pos()),
+					Analyzer: "banned",
+					Message:  fmt.Sprintf("import of %s: %s", rule.symbol, rule.reason),
+				})
+			}
+		}
+
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fctx := ctx
+			fctx.funcName = fd.Name.Name
+			fctx.inInit = fd.Recv == nil && fd.Name.Name == "init"
+			findings = append(findings, bannedInFunc(prog, pkg, fd, fctx)...)
+		}
+	}
+	return findings
+}
+
+func bannedInFunc(prog *Program, pkg *Package, fd *ast.FuncDecl, ctx bannedContext) []Finding {
+	var findings []Finding
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		for _, rule := range bannedRules {
+			switch rule.kind {
+			case "call":
+				fn := calleeFunc(pkg.Info, call)
+				if fn == nil || fn.Pkg() == nil {
+					continue
+				}
+				if fn.Pkg().Path()+"."+fn.Name() != rule.symbol {
+					continue
+				}
+			case "builtin":
+				b := calleeBuiltin(pkg.Info, call)
+				if b == nil || b.Name() != rule.symbol {
+					continue
+				}
+			default:
+				continue
+			}
+			if rule.exempt(ctx) {
+				continue
+			}
+			findings = append(findings, Finding{
+				Pos:      pkg.Position(call.Pos()),
+				Analyzer: "banned",
+				Message:  fmt.Sprintf("call to %s in %s: %s", rule.symbol, ctx.funcName, rule.reason),
+			})
+		}
+		return true
+	})
+	return findings
+}

@@ -1,0 +1,491 @@
+// Package lint is the repo's custom static-analysis pass: a
+// stdlib-only driver (go/parser + go/types with the source importer —
+// no module dependencies) that loads every package in the module and
+// runs repo-specific analyzers over the type-checked ASTs. Each
+// analyzer encodes one invariant the reproduction's guarantees rest
+// on — byte-identical determinism at any parallelism, zero
+// allocations on the resolve hot path, lock discipline around the
+// generation machinery, a drift-free metric inventory — so the
+// invariants are machine-checked properties of the source instead of
+// reviewer memory.
+//
+// Annotation grammar:
+//
+//	//repro:hotpath
+//	    on a function declaration marks it part of the allocation-free
+//	    hot path; the hotpath analyzer then bounds what it may call.
+//
+//	//lint:allow <analyzer> <reason>
+//	    on the offending line (trailing) or the line above suppresses
+//	    that analyzer's findings there. The reason is mandatory; the
+//	    driver counts every suppression so escapes stay visible.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Finding is one diagnostic: a position, the analyzer that produced
+// it, and the message.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the canonical file:line:col: [analyzer] form.
+func (f Finding) String() string {
+	return fmt.Sprintf("%s:%d:%d: [%s] %s", f.Pos.Filename, f.Pos.Line, f.Pos.Column, f.Analyzer, f.Message)
+}
+
+// Analyzer is one named pass over a type-checked package.
+type Analyzer struct {
+	// Name is the identifier //lint:allow comments reference.
+	Name string
+	// Doc is the one-line invariant description (for -list output and
+	// the README inventory).
+	Doc string
+	// Run reports the analyzer's findings for one package. The driver
+	// applies //lint:allow suppression afterwards, so Run reports
+	// everything it sees.
+	Run func(prog *Program, pkg *Package) []Finding
+}
+
+// Package is one type-checked package unit (a package's files plus
+// its in-package test files; external _test packages load as their
+// own unit).
+type Package struct {
+	// Path is the import path. Packages under a testdata/src fixture
+	// tree get the path after "testdata/src/", so fixtures can
+	// impersonate any package class.
+	Path  string
+	Dir   string
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+	fset  *token.FileSet
+}
+
+// Fset returns the file set positions resolve against.
+func (p *Package) Fset() *token.FileSet { return p.fset }
+
+// Position resolves a token.Pos.
+func (p *Package) Position(pos token.Pos) token.Position { return p.fset.Position(pos) }
+
+// allow is one parsed //lint:allow mark.
+type allow struct {
+	analyzer string
+	reason   string
+}
+
+// Program is a loaded module (or fixture subset): every package unit,
+// the cross-package facts analyzers need, and the //lint:allow marks.
+type Program struct {
+	Fset     *token.FileSet
+	Module   string // module path from go.mod ("repro")
+	Root     string // module root directory
+	Packages []*Package
+
+	// Hotpath is the set of //repro:hotpath-annotated functions, keyed
+	// by funcID, collected across every loaded package so cross-package
+	// hot calls (fabric -> obs) check against one fact base.
+	Hotpath map[string]bool
+
+	// allows maps filename -> line -> marks. A mark registered at line
+	// L suppresses findings on L (trailing comment) and L+1 (comment on
+	// the line above).
+	allows map[string]map[int][]allow
+
+	// malformed collects //lint:allow comments missing their mandatory
+	// reason; they suppress nothing and are reported as findings.
+	malformed []Finding
+}
+
+// FindModuleRoot walks up from dir to the enclosing go.mod and
+// returns the root directory and module path.
+func FindModuleRoot(dir string) (root, module string, err error) {
+	dir, err = filepath.Abs(dir)
+	if err != nil {
+		return "", "", err
+	}
+	for {
+		data, err := os.ReadFile(filepath.Join(dir, "go.mod"))
+		if err == nil {
+			for _, line := range strings.Split(string(data), "\n") {
+				line = strings.TrimSpace(line)
+				if rest, ok := strings.CutPrefix(line, "module "); ok {
+					return dir, strings.TrimSpace(rest), nil
+				}
+			}
+			return "", "", fmt.Errorf("lint: %s/go.mod has no module directive", dir)
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", "", fmt.Errorf("lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Load parses and type-checks the packages selected by patterns
+// (resolved relative to root): "dir" loads one directory, "dir/..."
+// loads a subtree, "./..." the whole module. Walks skip testdata
+// directories unless the pattern itself points into one, so fixture
+// packages with seeded violations never leak into a module-wide run.
+func Load(root, module string, patterns []string) (*Program, error) {
+	prog := &Program{
+		Fset:    token.NewFileSet(),
+		Module:  module,
+		Root:    root,
+		Hotpath: make(map[string]bool),
+		allows:  make(map[string]map[int][]allow),
+	}
+	var dirs []string
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		expanded, err := expandPattern(root, pat)
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range expanded {
+			if !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	sort.Strings(dirs)
+	imp := importer.ForCompiler(prog.Fset, "source", nil)
+	for _, dir := range dirs {
+		if err := prog.loadDir(dir, imp); err != nil {
+			return nil, err
+		}
+	}
+	prog.collectFacts()
+	return prog, nil
+}
+
+// expandPattern resolves one pattern to package directories.
+func expandPattern(root, pat string) ([]string, error) {
+	recursive := strings.HasSuffix(pat, "...")
+	base := strings.TrimSuffix(strings.TrimSuffix(pat, "..."), "/")
+	if base == "" || base == "." {
+		base = root
+	} else if !filepath.IsAbs(base) {
+		base = filepath.Join(root, base)
+	}
+	info, err := os.Stat(base)
+	if err != nil {
+		return nil, fmt.Errorf("lint: pattern %q: %w", pat, err)
+	}
+	if !info.IsDir() {
+		return nil, fmt.Errorf("lint: pattern %q is not a directory", pat)
+	}
+	if !recursive {
+		return []string{base}, nil
+	}
+	// A pattern explicitly rooted inside testdata means "lint the
+	// fixtures"; any other walk must not descend into them.
+	intoTestdata := strings.Contains(base, "testdata")
+	var dirs []string
+	err = filepath.WalkDir(base, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if !d.IsDir() {
+			return nil
+		}
+		name := d.Name()
+		if path != base && (strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_") ||
+			(name == "testdata" && !intoTestdata)) {
+			return filepath.SkipDir
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				dirs = append(dirs, path)
+				break
+			}
+		}
+		return nil
+	})
+	return dirs, err
+}
+
+// importPathFor derives a unit's import path from its directory.
+// Directories under a testdata/src tree take the path after that
+// marker, so a fixture at testdata/src/repro/internal/core analyzes
+// as package path "repro/internal/core".
+func importPathFor(root, module, dir string) string {
+	rel, err := filepath.Rel(root, dir)
+	if err != nil || rel == "." {
+		return module
+	}
+	rel = filepath.ToSlash(rel)
+	if _, after, ok := strings.Cut(rel+"/", "testdata/src/"); ok {
+		return strings.TrimSuffix(after, "/")
+	}
+	return module + "/" + rel
+}
+
+// loadDir parses and checks the package units in one directory: the
+// primary package (with its in-package test files) and, when present,
+// the external _test package.
+func (prog *Program) loadDir(dir string, imp types.Importer) error {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return err
+	}
+	units := make(map[string][]*ast.File)
+	var names []string
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(prog.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return fmt.Errorf("lint: %w", err)
+		}
+		name := f.Name.Name
+		if units[name] == nil {
+			names = append(names, name)
+		}
+		units[name] = append(units[name], f)
+	}
+	sort.Strings(names)
+	basePath := importPathFor(prog.Root, prog.Module, dir)
+	for _, name := range names {
+		path := basePath
+		if strings.HasSuffix(name, "_test") {
+			path += "_test"
+		}
+		pkg, err := prog.check(path, dir, units[name], imp)
+		if err != nil {
+			return err
+		}
+		prog.Packages = append(prog.Packages, pkg)
+	}
+	return nil
+}
+
+// check type-checks one unit.
+func (prog *Program) check(path, dir string, files []*ast.File, imp types.Importer) (*Package, error) {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	var errs []string
+	conf := types.Config{
+		Importer: imp,
+		Error: func(err error) {
+			if len(errs) < 10 {
+				errs = append(errs, err.Error())
+			}
+		},
+	}
+	tpkg, _ := conf.Check(path, prog.Fset, files, info)
+	if len(errs) > 0 {
+		return nil, fmt.Errorf("lint: type-checking %s:\n  %s", path, strings.Join(errs, "\n  "))
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Pkg: tpkg, Info: info, fset: prog.Fset}, nil
+}
+
+// collectFacts gathers the cross-package fact base: //repro:hotpath
+// annotations and //lint:allow marks.
+func (prog *Program) collectFacts() {
+	for _, pkg := range prog.Packages {
+		for _, file := range pkg.Files {
+			for _, decl := range file.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || !hasDirective(fd.Doc, "repro:hotpath") {
+					continue
+				}
+				if fn, ok := pkg.Info.Defs[fd.Name].(*types.Func); ok {
+					prog.Hotpath[FuncID(fn)] = true
+				}
+			}
+			for _, group := range file.Comments {
+				for _, c := range group.List {
+					prog.recordAllow(c)
+				}
+			}
+		}
+	}
+}
+
+// hasDirective reports whether the doc group carries the directive
+// comment (exact prefix match after "//", directive style).
+func hasDirective(doc *ast.CommentGroup, directive string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+		if text == directive || strings.HasPrefix(text, directive+" ") {
+			return true
+		}
+	}
+	return false
+}
+
+// recordAllow parses one comment as a //lint:allow mark.
+func (prog *Program) recordAllow(c *ast.Comment) {
+	text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+	rest, ok := strings.CutPrefix(text, "lint:allow")
+	if !ok {
+		return
+	}
+	pos := prog.Fset.Position(c.Pos())
+	fields := strings.Fields(rest)
+	if len(fields) < 2 {
+		prog.malformed = append(prog.malformed, Finding{
+			Pos:      pos,
+			Analyzer: "lint",
+			Message:  "malformed //lint:allow: want //lint:allow <analyzer> <reason> (the reason is mandatory)",
+		})
+		return
+	}
+	m := prog.allows[pos.Filename]
+	if m == nil {
+		m = make(map[int][]allow)
+		prog.allows[pos.Filename] = m
+	}
+	end := prog.Fset.Position(c.End()).Line
+	a := allow{analyzer: fields[0], reason: strings.Join(fields[1:], " ")}
+	m[end] = append(m[end], a)
+	m[end+1] = append(m[end+1], a)
+}
+
+// suppressed reports whether an allow mark covers the finding.
+func (prog *Program) suppressed(f Finding) bool {
+	for _, a := range prog.allows[f.Pos.Filename][f.Pos.Line] {
+		if a.analyzer == f.Analyzer {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over every loaded package, applies
+// //lint:allow suppression, and returns the surviving findings
+// (sorted by position) plus the per-analyzer suppression counts.
+func (prog *Program) Run(analyzers []*Analyzer) (findings []Finding, suppressed map[string]int) {
+	suppressed = make(map[string]int)
+	findings = append(findings, prog.malformed...)
+	// Nested walks (a map range inside a map range) can surface the
+	// same diagnostic twice; identical findings collapse to one.
+	seen := make(map[Finding]bool)
+	for _, f := range findings {
+		seen[f] = true
+	}
+	for _, pkg := range prog.Packages {
+		for _, a := range analyzers {
+			for _, f := range a.Run(prog, pkg) {
+				if seen[f] {
+					continue
+				}
+				seen[f] = true
+				if prog.suppressed(f) {
+					suppressed[f.Analyzer]++
+					continue
+				}
+				findings = append(findings, f)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return findings, suppressed
+}
+
+// Analyzers is the full pass list, in reporting order.
+var Analyzers = []*Analyzer{
+	NondeterminismAnalyzer,
+	HotpathAnalyzer,
+	LocksAnalyzer,
+	ObskeysAnalyzer,
+	BannedAnalyzer,
+}
+
+// FuncID names a function stably across packages:
+// "pkg/path.Name" for functions, "pkg/path.(Type).Name" for methods
+// (pointer receivers stripped, generic origins used).
+func FuncID(fn *types.Func) string {
+	fn = fn.Origin()
+	pkg := fn.Pkg()
+	if pkg == nil {
+		return fn.Name()
+	}
+	sig, _ := fn.Type().(*types.Signature)
+	if sig != nil && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		switch t := t.(type) {
+		case *types.Named:
+			return pkg.Path() + ".(" + t.Obj().Name() + ")." + fn.Name()
+		default:
+			return pkg.Path() + ".(?)." + fn.Name()
+		}
+	}
+	return pkg.Path() + "." + fn.Name()
+}
+
+// isTestFile reports whether the position's file is a _test.go file.
+func isTestFile(pos token.Position) bool {
+	return strings.HasSuffix(pos.Filename, "_test.go")
+}
+
+// calleeFunc resolves a call expression's static callee, nil for
+// calls through function values, conversions, and builtins.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return fn
+		}
+	case *ast.SelectorExpr:
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			return fn
+		}
+	}
+	return nil
+}
+
+// calleeBuiltin resolves a call's builtin (append, len, ...), nil
+// when the call is not a builtin.
+func calleeBuiltin(info *types.Info, call *ast.CallExpr) *types.Builtin {
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			return b
+		}
+	}
+	return nil
+}

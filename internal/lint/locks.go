@@ -1,0 +1,442 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// LocksAnalyzer checks the repo's two concurrency-annotation
+// contracts:
+//
+//  1. A struct field commented "guarded by <mu>" may only be touched
+//     through a receiver inside methods that hold <mu> on every path
+//     to the access. The walk is a conservative straight-line
+//     approximation: Lock()/RLock() acquires, Unlock()/RUnlock()
+//     releases, deferred unlocks keep the lock held to function end,
+//     branch-local acquisitions do not escape their branch, and
+//     methods whose name ends in "Locked" are taken to run with every
+//     guard held (the codebase's caller-holds-the-lock convention).
+//  2. A field that is ever accessed field-level through sync/atomic
+//     (atomic.AddUint64(&s.f, ...)) may never also be read or written
+//     plainly — mixed plain/atomic access is a data race the race
+//     detector only catches when the schedule cooperates.
+var LocksAnalyzer = &Analyzer{
+	Name: "locks",
+	Doc:  "enforces 'guarded by <mu>' field comments and bans mixed plain/atomic field access",
+	Run:  runLocks,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)
+
+// guardedField is one annotated field: its object, the struct's type
+// name, and the guarding mutex field name.
+type guardedField struct {
+	field *types.Var
+	owner *types.TypeName
+	mu    string
+}
+
+func runLocks(prog *Program, pkg *Package) []Finding {
+	guarded := collectGuarded(pkg)
+	var findings []Finding
+	if len(guarded) > 0 {
+		findings = append(findings, checkGuarded(pkg, guarded)...)
+	}
+	findings = append(findings, checkAtomicMix(pkg)...)
+	return findings
+}
+
+// collectGuarded finds "guarded by <mu>" field annotations.
+func collectGuarded(pkg *Package) map[*types.Var]guardedField {
+	guarded := make(map[*types.Var]guardedField)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			owner, _ := pkg.Info.Defs[ts.Name].(*types.TypeName)
+			if owner == nil {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pkg.Info.Defs[name].(*types.Var); ok {
+						guarded[v] = guardedField{field: v, owner: owner, mu: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// guardAnnotation extracts the mutex name from a field's trailing or
+// doc comment.
+func guardAnnotation(field *ast.Field) string {
+	for _, group := range []*ast.CommentGroup{field.Comment, field.Doc} {
+		if group == nil {
+			continue
+		}
+		if m := guardedByRE.FindStringSubmatch(group.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkGuarded walks every method of every annotated struct.
+func checkGuarded(pkg *Package, guarded map[*types.Var]guardedField) []Finding {
+	var findings []Finding
+	for _, file := range pkg.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil || len(fd.Recv.List) == 0 {
+				continue
+			}
+			recvField := fd.Recv.List[0]
+			if len(recvField.Names) == 0 {
+				continue
+			}
+			recvVar, _ := pkg.Info.Defs[recvField.Names[0]].(*types.Var)
+			if recvVar == nil {
+				continue
+			}
+			owner := namedOf(recvVar.Type())
+			if owner == nil {
+				continue
+			}
+			// Does this struct have any guarded fields?
+			relevant := false
+			for _, g := range guarded {
+				if g.owner == owner.Obj() {
+					relevant = true
+					break
+				}
+			}
+			if !relevant {
+				continue
+			}
+			w := &lockWalker{
+				pkg:     pkg,
+				guarded: guarded,
+				owner:   owner.Obj(),
+				recv:    recvVar,
+				method:  fd.Name.Name,
+			}
+			held := map[string]bool{}
+			if strings.HasSuffix(fd.Name.Name, "Locked") {
+				// Caller-holds-the-lock convention: assume every guard.
+				for _, g := range guarded {
+					if g.owner == owner.Obj() {
+						held[g.mu] = true
+					}
+				}
+			}
+			w.walkList(fd.Body.List, held)
+			findings = append(findings, w.findings...)
+		}
+	}
+	return findings
+}
+
+func namedOf(t types.Type) *types.Named {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
+}
+
+// lockWalker tracks which guard mutexes are held along a
+// straight-line walk of a method body.
+type lockWalker struct {
+	pkg      *Package
+	guarded  map[*types.Var]guardedField
+	owner    *types.TypeName
+	recv     *types.Var
+	method   string
+	findings []Finding
+}
+
+// walkList walks statements in order, threading the held-set through,
+// and returns the held-set at the end of the list.
+func (w *lockWalker) walkList(list []ast.Stmt, held map[string]bool) map[string]bool {
+	for _, stmt := range list {
+		held = w.walkStmt(stmt, held)
+	}
+	return held
+}
+
+func copyHeld(held map[string]bool) map[string]bool {
+	c := make(map[string]bool, len(held))
+	for k, v := range held {
+		c[k] = v
+	}
+	return c
+}
+
+// intersect keeps only the locks held in both.
+func intersect(a, b map[string]bool) map[string]bool {
+	out := make(map[string]bool)
+	for k := range a {
+		if b[k] {
+			out[k] = true
+		}
+	}
+	return out
+}
+
+func (w *lockWalker) walkStmt(stmt ast.Stmt, held map[string]bool) map[string]bool {
+	switch s := stmt.(type) {
+	case *ast.ExprStmt:
+		if mu, locked := w.lockCall(s.X); mu != "" {
+			if locked {
+				held[mu] = true
+			} else {
+				delete(held, mu)
+			}
+			return held
+		}
+		w.scan(s.X, held)
+	case *ast.DeferStmt:
+		// A deferred unlock keeps the lock held to function end; any
+		// other deferred work runs at exit with unknown lock state, so
+		// its body is checked lock-free.
+		if mu, locked := w.lockCall(s.Call); mu != "" && !locked {
+			return held
+		}
+		w.scan(s.Call, map[string]bool{})
+	case *ast.BlockStmt:
+		return w.walkList(s.List, held)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		w.scan(s.Cond, held)
+		w.walkList(s.Body.List, copyHeld(held))
+		if s.Else != nil {
+			w.walkStmt(s.Else, copyHeld(held))
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		if s.Cond != nil {
+			w.scan(s.Cond, held)
+		}
+		after := w.walkList(s.Body.List, copyHeld(held))
+		if s.Post != nil {
+			w.walkStmt(s.Post, after)
+		}
+		return intersect(held, after)
+	case *ast.RangeStmt:
+		w.scan(s.X, held)
+		after := w.walkList(s.Body.List, copyHeld(held))
+		return intersect(held, after)
+	case *ast.SwitchStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		if s.Tag != nil {
+			w.scan(s.Tag, held)
+		}
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				w.walkList(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.TypeSwitchStmt:
+		if s.Init != nil {
+			held = w.walkStmt(s.Init, held)
+		}
+		w.scan(s.Assign, held)
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CaseClause); ok {
+				w.walkList(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.SelectStmt:
+		for _, clause := range s.Body.List {
+			if cc, ok := clause.(*ast.CommClause); ok {
+				if cc.Comm != nil {
+					w.walkStmt(cc.Comm, copyHeld(held))
+				}
+				w.walkList(cc.Body, copyHeld(held))
+			}
+		}
+	case *ast.GoStmt:
+		// A spawned goroutine runs with no lock inherited.
+		w.scan(s.Call, map[string]bool{})
+	case *ast.LabeledStmt:
+		return w.walkStmt(s.Stmt, held)
+	default:
+		w.scan(stmt, held)
+	}
+	return held
+}
+
+// lockCall matches recv.<mu>.Lock/RLock/Unlock/RUnlock() and returns
+// the mutex field name and whether it acquires.
+func (w *lockWalker) lockCall(expr ast.Expr) (mu string, locked bool) {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	var acquire bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acquire = true
+	case "Unlock", "RUnlock":
+		acquire = false
+	default:
+		return "", false
+	}
+	muSel, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return "", false
+	}
+	base, ok := ast.Unparen(muSel.X).(*ast.Ident)
+	if !ok || w.pkg.Info.ObjectOf(base) != w.recv {
+		return "", false
+	}
+	return muSel.Sel.Name, acquire
+}
+
+// scan inspects a node (expression or statement) for guarded-field
+// accesses through the receiver under the given held-set. Function
+// literals are scanned with an empty held-set (they may run later)
+// unless they contain their own locking.
+func (w *lockWalker) scan(n ast.Node, held map[string]bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			w.walkList(m.Body.List, map[string]bool{})
+			return false
+		case *ast.SelectorExpr:
+			base, ok := ast.Unparen(m.X).(*ast.Ident)
+			if !ok || w.pkg.Info.ObjectOf(base) != w.recv {
+				return true
+			}
+			obj := w.pkg.Info.ObjectOf(m.Sel)
+			v, ok := obj.(*types.Var)
+			if !ok {
+				return true
+			}
+			g, ok := w.guarded[v]
+			if !ok || g.owner != w.owner {
+				return true
+			}
+			if !held[g.mu] {
+				w.findings = append(w.findings, Finding{
+					Pos:      w.pkg.Position(m.Pos()),
+					Analyzer: "locks",
+					Message: fmt.Sprintf("%s.%s accesses %s (guarded by %s) without holding %s on every path",
+						w.owner.Name(), w.method, v.Name(), g.mu, g.mu),
+				})
+			}
+			return false
+		}
+		return true
+	})
+}
+
+// checkAtomicMix flags fields accessed both through sync/atomic and
+// plainly.
+func checkAtomicMix(pkg *Package) []Finding {
+	// Pass 1: fields whose address feeds a sync/atomic call, and the
+	// exact selector nodes involved (those are the sanctioned uses).
+	atomicFields := make(map[*types.Var]string) // field -> first atomic op name
+	sanctioned := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pkg.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			fn := calleeFunc(pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op.String() != "&" {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue // &s.f[i] is element-level, not field-level
+				}
+				if v := fieldVar(pkg, sel); v != nil {
+					if _, seen := atomicFields[v]; !seen {
+						atomicFields[v] = fn.Name()
+					}
+					sanctioned[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil
+	}
+	// Pass 2: every other access to those fields is a mixed access.
+	var findings []Finding
+	for _, file := range pkg.Files {
+		if isTestFile(pkg.Position(file.Pos())) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			v := fieldVar(pkg, sel)
+			if v == nil {
+				return true
+			}
+			op, ok := atomicFields[v]
+			if !ok {
+				return true
+			}
+			findings = append(findings, Finding{
+				Pos:      pkg.Position(sel.Pos()),
+				Analyzer: "locks",
+				Message: fmt.Sprintf("plain access to field %s, which is also accessed via sync/atomic.%s: mixed plain/atomic access races; use atomics everywhere or a mutex",
+					v.Name(), op),
+			})
+			return false
+		})
+	}
+	return findings
+}
+
+// fieldVar resolves a selector to a struct field variable, nil for
+// methods, package selectors, and locals.
+func fieldVar(pkg *Package, sel *ast.SelectorExpr) *types.Var {
+	s, ok := pkg.Info.Selections[sel]
+	if !ok || s.Kind() != types.FieldVal {
+		return nil
+	}
+	v, _ := s.Obj().(*types.Var)
+	return v
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// ObskeysAnalyzer keeps the metric and journal namespace greppable:
+// every metric name and journal event type handed to internal/obs
+// must be an in-package string constant whose value matches
+// ^[a-z][a-z0-9_.]*$ (optionally followed by one {label="value"}
+// suffix). A constant name is a stable grep anchor, so the README
+// metric inventory cannot drift from the code; a fmt.Sprintf'd or
+// concatenated name can.
+var ObskeysAnalyzer = &Analyzer{
+	Name: "obskeys",
+	Doc:  "requires metric names and journal event types to be in-package constants matching ^[a-z][a-z0-9_.]*$",
+	Run:  runObskeys,
+}
+
+// obsNameFuncs are the internal/obs entry points whose first string
+// argument is a metric name or journal event type.
+var obsNameFuncs = map[string]bool{
+	"Counter":     true,
+	"Gauge":       true,
+	"Histogram":   true,
+	"CounterFunc": true,
+	"GaugeFunc":   true,
+	"Record":      true, // Journal.Record(typ, ...)
+}
+
+var (
+	obsNameRE  = regexp.MustCompile(`^[a-z][a-z0-9_.]*$`)
+	obsLabelRE = regexp.MustCompile(`^\{[a-z][a-z0-9_]*="[^"{}]*"\}$`)
+)
+
+func runObskeys(prog *Program, pkg *Package) []Finding {
+	var findings []Finding
+	for _, file := range pkg.Files {
+		if isTestFile(pkg.Position(file.Pos())) {
+			continue // tests may mint throwaway names
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn := calleeFunc(pkg.Info, call)
+			if fn == nil || fn.Pkg() == nil || !obsNameFuncs[fn.Name()] {
+				return true
+			}
+			if fn.Pkg().Path() != prog.Module+"/internal/obs" {
+				return true
+			}
+			findings = append(findings, checkObsName(pkg, fn.Name(), call.Args[0])...)
+			return true
+		})
+	}
+	return findings
+}
+
+// checkObsName validates one name argument: in-package named constant,
+// well-formed value.
+func checkObsName(pkg *Package, callee string, arg ast.Expr) []Finding {
+	pos := pkg.Position(arg.Pos())
+	ident, ok := ast.Unparen(arg).(*ast.Ident)
+	if !ok {
+		return []Finding{{
+			Pos:      pos,
+			Analyzer: "obskeys",
+			Message:  fmt.Sprintf("name passed to obs.%s must be an in-package string constant (got an expression); constants keep the metric inventory greppable", callee),
+		}}
+	}
+	obj := pkg.Info.ObjectOf(ident)
+	cst, ok := obj.(*types.Const)
+	if !ok {
+		return []Finding{{
+			Pos:      pos,
+			Analyzer: "obskeys",
+			Message:  fmt.Sprintf("name %q passed to obs.%s must be a string constant, not a variable", ident.Name, callee),
+		}}
+	}
+	if cst.Pkg() != pkg.Pkg {
+		return []Finding{{
+			Pos:      pos,
+			Analyzer: "obskeys",
+			Message:  fmt.Sprintf("constant %s passed to obs.%s is declared outside this package; declare metric names in the package that owns them", ident.Name, callee),
+		}}
+	}
+	if cst.Val().Kind() != constant.String {
+		return nil // not a string constant: the typechecker already rejected it
+	}
+	val := constant.StringVal(cst.Val())
+	base, label := val, ""
+	if i := strings.IndexByte(val, '{'); i >= 0 {
+		base, label = val[:i], val[i:]
+	}
+	if !obsNameRE.MatchString(base) || (label != "" && !obsLabelRE.MatchString(label)) {
+		return []Finding{{
+			Pos:      pos,
+			Analyzer: "obskeys",
+			Message:  fmt.Sprintf("metric name %q does not match ^[a-z][a-z0-9_.]*$ (with optional {label=\"value\"} suffix)", val),
+		}}
+	}
+	return nil
+}

@@ -1,0 +1,29 @@
+// Package allowed is a lint fixture for the //lint:allow escape
+// hatch: the first two violations carry valid marks (trailing and
+// line-above) and must be suppressed and counted; the mismatched and
+// malformed marks suppress nothing, and the malformed one is itself a
+// finding.
+package allowed
+
+import "os"
+
+// Trailing-comment form.
+func Quit() {
+	os.Exit(3) //lint:allow banned fixture exercises the trailing-allow form
+}
+
+// Line-above form.
+func Explode() {
+	//lint:allow banned fixture exercises the line-above-allow form
+	panic("boom")
+}
+
+// Wrong-analyzer marks do not suppress other analyzers' findings.
+func Mismatched() {
+	panic("still reported") //lint:allow nondeterminism wrong analyzer name on purpose
+}
+
+// Malformed: no reason after the analyzer name.
+func Unreasoned() {
+	os.Exit(4) //lint:allow banned
+}

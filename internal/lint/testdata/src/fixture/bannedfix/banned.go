@@ -1,0 +1,28 @@
+// Package bannedfix is a lint fixture for the banned analyzer: os.Exit
+// and panic in library code, a reflect import, and the exempt shapes
+// (panic in init).
+package bannedfix
+
+import (
+	"os"
+	"reflect" // want: reflect outside tests
+)
+
+// Kind leaks reflection so the import is used.
+func Kind(v any) string { return reflect.TypeOf(v).String() }
+
+// Quit exits from library code.
+func Quit() {
+	os.Exit(1) // want: os.Exit outside cmd/*
+}
+
+// Explode panics on a non-init library path.
+func Explode() {
+	panic("boom") // want: panic in library
+}
+
+func init() {
+	if false {
+		panic("init-time config error") // exempt: init path
+	}
+}

@@ -1,0 +1,73 @@
+// Package hotpath is a lint fixture for the hotpath analyzer: hot
+// functions with seeded violations (fmt, defer, closures, boxing,
+// unvetted calls) and clean hot functions that must not be flagged.
+package hotpath
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+var sink atomic.Uint64
+
+// helper is not hotpath-annotated: hot callers must not call it.
+func helper() uint64 { return 1 }
+
+//repro:hotpath
+func hotHelper() uint64 { return 2 }
+
+// HotFmt calls fmt on the hot path.
+//
+//repro:hotpath
+func HotFmt(v int) {
+	fmt.Println(v) // want: fmt call
+}
+
+// HotDefer uses defer; HotClosure creates a closure.
+//
+//repro:hotpath
+func HotDefer() {
+	defer sink.Add(1) // want: defer
+}
+
+//repro:hotpath
+func HotClosure() func() {
+	return func() {} // want: closure
+}
+
+// HotBox boxes a concrete int into an interface.
+//
+//repro:hotpath
+func HotBox(v int) {
+	var i interface{}
+	i = v // want: boxing
+	_ = i
+}
+
+// HotCallsCold calls a function that is neither annotated nor
+// allowlisted.
+//
+//repro:hotpath
+func HotCallsCold() uint64 {
+	return helper() // want: unvetted call
+}
+
+// HotClean only uses atomics, builtins, and another hot function: no
+// findings.
+//
+//repro:hotpath
+func HotClean(xs []uint64) uint64 {
+	sink.Add(hotHelper())
+	return uint64(len(xs))
+}
+
+// HotColdExit constructs its error inside the return statement: the
+// cold-exit carve-out applies and fmt.Errorf there is not a finding.
+//
+//repro:hotpath
+func HotColdExit(v int) (uint64, error) {
+	if v < 0 {
+		return 0, fmt.Errorf("hotpath: negative %d", v)
+	}
+	return uint64(v), nil
+}

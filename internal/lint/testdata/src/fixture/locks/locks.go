@@ -1,0 +1,68 @@
+// Package locks is a lint fixture for the locks analyzer: guarded
+// fields accessed with and without their mutex, the Locked-suffix
+// convention, and mixed plain/atomic field access.
+package locks
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Box has one guarded counter.
+type Box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// Good locks around the access: no finding.
+func (b *Box) Good() int {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.n
+}
+
+// Bad reads the guarded field with no lock.
+func (b *Box) Bad() int {
+	return b.n // want: unguarded access
+}
+
+// BadBranch acquires the lock in one branch only; the access after
+// the branch is not covered on every path.
+func (b *Box) BadBranch(lock bool) int {
+	if lock {
+		b.mu.Lock()
+	}
+	v := b.n // want: not held on every path
+	if lock {
+		b.mu.Unlock()
+	}
+	return v
+}
+
+// BadAfterUnlock touches the field after releasing.
+func (b *Box) BadAfterUnlock() int {
+	b.mu.Lock()
+	b.n++
+	b.mu.Unlock()
+	return b.n // want: accessed after unlock
+}
+
+// bumpLocked follows the caller-holds-the-lock suffix convention: no
+// finding.
+func (b *Box) bumpLocked() { b.n++ }
+
+// Mixed has a field touched both atomically and plainly.
+type Mixed struct {
+	hits  uint64
+	total uint64
+}
+
+// Touch records atomically; Peek reads the same field plainly.
+func (m *Mixed) Touch() {
+	atomic.AddUint64(&m.hits, 1)
+	m.total++ // plain-only field: no finding
+}
+
+func (m *Mixed) Peek() uint64 {
+	return m.hits // want: mixed plain/atomic access
+}

@@ -1,0 +1,23 @@
+// Package obskeys is a lint fixture for the obskeys analyzer: metric
+// names passed to internal/obs as literals, variables, and malformed
+// constants, plus well-formed constants that must not be flagged.
+package obskeys
+
+import "repro/internal/obs"
+
+const (
+	goodName    = "fixture_requests_total"
+	labeledName = `fixture_requests_total{policy="linear"}`
+	badValue    = "Fixture-Requests"
+)
+
+var varName = "fixture_bytes_total"
+
+// Register exercises every name-argument shape.
+func Register(reg *obs.Registry) {
+	reg.Counter(goodName, "ok: constant, well-formed", 1)
+	reg.Counter(labeledName, "ok: constant with label suffix", 1)
+	reg.Counter("fixture_literal_total", "literal", 1) // want: not a constant
+	reg.Gauge(varName, "variable")                     // want: not a constant
+	reg.Histogram(badValue, "malformed value")         // want: bad name
+}

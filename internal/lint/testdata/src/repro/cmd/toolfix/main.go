@@ -1,0 +1,13 @@
+// Command toolfix is a lint fixture impersonating a cmd/* package:
+// os.Exit and panic are exempt here, so this package must produce no
+// banned findings.
+package main
+
+import "os"
+
+func main() {
+	if len(os.Args) > 99 {
+		panic("absurd argv")
+	}
+	os.Exit(0)
+}

@@ -1,0 +1,60 @@
+// Package core is a lint fixture impersonating the result-producing
+// package repro/internal/core: every seeded violation below must be
+// reported by the nondeterminism analyzer, and the rescued variants
+// must not.
+package core
+
+import (
+	"math/rand" // want: banned import
+	"sort"
+	"strings"
+	"time"
+)
+
+// Clock reads time in a result-producing package.
+func Clock() int64 {
+	t := time.Now() // want: wall-clock read
+	time.Sleep(0)   // want: wall-clock read
+	return t.UnixNano()
+}
+
+// Draw uses the banned RNG.
+func Draw() int { return rand.Intn(6) }
+
+// LeakAppend appends inside a map range with no rescue sort.
+func LeakAppend(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want: order leak
+	}
+	return keys
+}
+
+// SortedAppend is the canonical collect-then-sort idiom: not a finding.
+func SortedAppend(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// LeakReturn returns from inside a map range.
+func LeakReturn(m map[string]int) string {
+	for k, v := range m {
+		if v > 0 {
+			return k // want: order-dependent winner
+		}
+	}
+	return ""
+}
+
+// LeakBuilder writes a builder inside a map range.
+func LeakBuilder(m map[string]int) string {
+	var b strings.Builder
+	for k := range m {
+		b.WriteString(k) // want: order-dependent output
+	}
+	return b.String()
+}

@@ -51,6 +51,8 @@ func newHistogram(name, help string) *Histogram {
 func (h *Histogram) Name() string { return h.name }
 
 // bucketIndex maps a non-negative value to its bucket.
+//
+//repro:hotpath
 func bucketIndex(v uint64) int {
 	if v < subCount {
 		return int(v)
@@ -79,6 +81,8 @@ func bucketBound(i int) int64 {
 
 // Observe records one value. Negative values clamp to zero (a clock
 // step mid-measurement must not corrupt the top octave).
+//
+//repro:hotpath
 func (h *Histogram) Observe(v int64) {
 	if v < 0 {
 		v = 0

@@ -35,10 +35,10 @@ type Event struct {
 // resolve path never touches the journal.
 type Journal struct {
 	mu   sync.Mutex
-	seq  uint64
-	ring []Event
-	n    int // occupied entries, <= len(ring)
-	next int // ring index the next event lands in
+	seq  uint64  // guarded by mu
+	ring []Event // guarded by mu
+	n    int     // occupied entries, <= len(ring); guarded by mu
+	next int     // ring index the next event lands in; guarded by mu
 
 	logger *slog.Logger
 }
@@ -123,6 +123,8 @@ func (j *Journal) Len() int {
 }
 
 // Cap returns the ring capacity.
+//
+//lint:allow locks the ring slice header is immutable after NewJournal; only its contents need mu
 func (j *Journal) Cap() int { return len(j.ring) }
 
 // Logger returns the journal's sink, or a discard logger when none

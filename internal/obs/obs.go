@@ -44,14 +44,20 @@ type counterShard struct {
 }
 
 // Add increments the counter by n on shard 0.
+//
+//repro:hotpath
 func (c *Counter) Add(n uint64) { c.shards[0].v.Add(n) }
 
 // Inc increments the counter by one on shard 0.
+//
+//repro:hotpath
 func (c *Counter) Inc() { c.Add(1) }
 
 // AddAt increments the counter by n on the shard selected by key
 // (masked into range), so concurrent writers with distinct keys never
 // contend on one cache line.
+//
+//repro:hotpath
 func (c *Counter) AddAt(key uint64, n uint64) { c.shards[key&c.mask].v.Add(n) }
 
 // Value sums the shards.
@@ -126,8 +132,8 @@ type metric interface {
 // is not ready; use NewRegistry. Safe for concurrent use.
 type Registry struct {
 	mu    sync.Mutex
-	order []string
-	byKey map[string]metric
+	order []string          // guarded by mu
+	byKey map[string]metric // guarded by mu
 }
 
 // NewRegistry returns an empty registry.
@@ -143,7 +149,7 @@ func (r *Registry) register(name string, m metric) metric {
 	defer r.mu.Unlock()
 	if prev, ok := r.byKey[name]; ok {
 		if fmt.Sprintf("%T", prev) != fmt.Sprintf("%T", m) {
-			panic(fmt.Sprintf("obs: %q re-registered as a different instrument kind", name))
+			panic(fmt.Sprintf("obs: %q re-registered as a different instrument kind", name)) //lint:allow banned kind conflict at registration is a programming error caught at startup
 		}
 		return prev
 	}

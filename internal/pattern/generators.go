@@ -107,7 +107,7 @@ func CGTransposePhase(nprocs int, bytes int64) (*Pattern, error) {
 func CGD128Phases() []*Pattern {
 	phases, err := CGPhases(128, DefaultCGPhaseBytes)
 	if err != nil {
-		panic(err) // unreachable: 128 is a valid count
+		panic(err) //lint:allow banned unreachable: 128 is a valid count
 	}
 	return phases
 }

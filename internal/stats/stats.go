@@ -22,7 +22,7 @@ type Summary struct {
 // empty slice: summarizing nothing is a programming error.
 func Summarize(samples []float64) Summary {
 	if len(samples) == 0 {
-		panic("stats: summarizing empty sample set")
+		panic("stats: summarizing empty sample set") //lint:allow banned documented precondition; empty input is a programming error
 	}
 	s := append([]float64(nil), samples...)
 	sort.Float64s(s)

@@ -59,7 +59,7 @@ func WRF(rows, cols int, bytes int64, iterations int, compute eventq.Time) (*dim
 func WRF256() *dimemas.Trace {
 	t, err := WRF(16, 16, pattern.DefaultWRFBytes, 1, 0)
 	if err != nil {
-		panic(err) // unreachable with constant arguments
+		panic(err) //lint:allow banned unreachable with constant arguments
 	}
 	return t
 }
@@ -84,7 +84,7 @@ func CG(nprocs int, bytes int64, iterations int, compute eventq.Time) (*dimemas.
 func CGD128() *dimemas.Trace {
 	t, err := CG(128, pattern.DefaultCGPhaseBytes, 1, 0)
 	if err != nil {
-		panic(err) // unreachable with constant arguments
+		panic(err) //lint:allow banned unreachable with constant arguments
 	}
 	return t
 }

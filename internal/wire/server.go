@@ -47,9 +47,9 @@ type Server struct {
 	Metrics *obs.Registry
 
 	mu        sync.Mutex
-	listeners map[net.Listener]struct{}
-	conns     map[net.Conn]*connState
-	closed    bool
+	listeners map[net.Listener]struct{} // guarded by mu
+	conns     map[net.Conn]*connState   // guarded by mu
+	closed    bool                      // guarded by mu
 	wg        sync.WaitGroup
 	m         *serverMetrics
 	connSeq   atomic.Uint64
@@ -67,15 +67,27 @@ type serverMetrics struct {
 	requestNS    *obs.Histogram
 }
 
+// Metric names as constants so repolint's obskeys pass keeps the
+// inventory greppable.
+const (
+	metricFrames       = "wire_frames_total"
+	metricBytesRead    = "wire_bytes_read_total"
+	metricBytesWritten = "wire_bytes_written_total"
+	metricDeadlineCuts = "wire_deadline_cuts_total"
+	metricConns        = "wire_conns_total"
+	metricConnsActive  = "wire_conns_active"
+	metricRequestNS    = "wire_request_ns"
+)
+
 func newServerMetrics(reg *obs.Registry) *serverMetrics {
 	return &serverMetrics{
-		frames:       reg.Counter("wire_frames_total", "resolve request frames served", 8),
-		bytesRead:    reg.Counter("wire_bytes_read_total", "bytes read from resolve peers", 8),
-		bytesWritten: reg.Counter("wire_bytes_written_total", "bytes written to resolve peers", 8),
-		deadlineCuts: reg.Counter("wire_deadline_cuts_total", "connections cut by a read/write deadline", 1),
-		conns:        reg.Counter("wire_conns_total", "connections accepted", 1),
-		connsActive:  reg.Gauge("wire_conns_active", "connections currently open"),
-		requestNS:    reg.Histogram("wire_request_ns", "server-side resolve service time (decode, resolve, respond)"),
+		frames:       reg.Counter(metricFrames, "resolve request frames served", 8),
+		bytesRead:    reg.Counter(metricBytesRead, "bytes read from resolve peers", 8),
+		bytesWritten: reg.Counter(metricBytesWritten, "bytes written to resolve peers", 8),
+		deadlineCuts: reg.Counter(metricDeadlineCuts, "connections cut by a read/write deadline", 1),
+		conns:        reg.Counter(metricConns, "connections accepted", 1),
+		connsActive:  reg.Gauge(metricConnsActive, "connections currently open"),
+		requestNS:    reg.Histogram(metricRequestNS, "server-side resolve service time (decode, resolve, respond)"),
 	}
 }
 

@@ -97,6 +97,8 @@ func (e *RemoteError) Error() string {
 
 // AppendHeader appends a frame header for a payload of the given type
 // and length.
+//
+//repro:hotpath
 func AppendHeader(buf []byte, typ byte, payloadLen int) []byte {
 	var h [HeaderSize]byte
 	binary.BigEndian.PutUint16(h[0:2], Magic)
@@ -110,6 +112,8 @@ func AppendHeader(buf []byte, typ byte, payloadLen int) []byte {
 // and declared payload length. The length is checked against
 // MaxPayload here, so callers can allocate afterwards without a bound
 // check of their own.
+//
+//repro:hotpath
 func ParseHeader(h []byte) (typ byte, payloadLen int, err error) {
 	if len(h) < HeaderSize {
 		return 0, 0, fmt.Errorf("wire: short header (%d bytes)", len(h))
@@ -134,6 +138,8 @@ func ParseHeader(h []byte) (typ byte, payloadLen int, err error) {
 // AppendResolveRequest appends a complete resolve-request frame for
 // the batch. Every src/dst must be in [0, MaxEndpoint]; batches
 // beyond MaxPairs are refused.
+//
+//repro:hotpath
 func AppendResolveRequest(buf []byte, pairs [][2]int) ([]byte, error) {
 	if len(pairs) > MaxPairs {
 		return buf, fmt.Errorf("wire: batch of %d pairs exceeds limit %d: %w", len(pairs), MaxPairs, ErrTooLarge)
@@ -157,6 +163,8 @@ func AppendResolveRequest(buf []byte, pairs [][2]int) ([]byte, error) {
 // returning the extended slice. The declared count must match the
 // payload length exactly, so the appended length is bounded by the
 // bytes actually received.
+//
+//repro:hotpath
 func DecodeResolveRequest(payload []byte, dst [][2]int) ([][2]int, error) {
 	if len(payload) < 4 {
 		return dst, fmt.Errorf("wire: resolve request payload too short (%d bytes)", len(payload))
@@ -181,6 +189,8 @@ func DecodeResolveRequest(payload []byte, dst [][2]int) ([][2]int, error) {
 // AppendResolveResponse appends a complete resolve-response frame:
 // the serving generation and one packed route word per requested
 // pair.
+//
+//repro:hotpath
 func AppendResolveResponse(buf []byte, generation uint64, packed []uint64) ([]byte, error) {
 	if len(packed) > MaxPairs {
 		return buf, fmt.Errorf("wire: response batch %d exceeds limit %d: %w", len(packed), MaxPairs, ErrTooLarge)
@@ -197,6 +207,8 @@ func AppendResolveResponse(buf []byte, generation uint64, packed []uint64) ([]by
 // DecodeResolveResponse parses a resolve-response payload, appending
 // the packed words to dst (pass dst[:0] to reuse) and returning the
 // serving generation with the extended slice.
+//
+//repro:hotpath
 func DecodeResolveResponse(payload []byte, dst []uint64) (generation uint64, packed []uint64, err error) {
 	if len(payload) < 12 {
 		return 0, dst, fmt.Errorf("wire: resolve response payload too short (%d bytes)", len(payload))
@@ -219,6 +231,8 @@ func DecodeResolveResponse(payload []byte, dst []uint64) (generation uint64, pac
 // AppendError appends a complete error frame; messages beyond
 // MaxErrorLen are truncated, never refused (the error path must not
 // itself error).
+//
+//repro:hotpath
 func AppendError(buf []byte, code byte, msg string) []byte {
 	if len(msg) > MaxErrorLen {
 		msg = msg[:MaxErrorLen]
@@ -229,6 +243,8 @@ func AppendError(buf []byte, code byte, msg string) []byte {
 }
 
 // DecodeError parses an error payload.
+//
+//repro:hotpath
 func DecodeError(payload []byte) (*RemoteError, error) {
 	if len(payload) < 1 {
 		return nil, errors.New("wire: empty error payload")
@@ -260,6 +276,8 @@ func NewFrameReader(r io.Reader) *FrameReader {
 // payload is valid only until the next Read. io.EOF is returned
 // verbatim on a clean close before any header byte; a close
 // mid-frame is io.ErrUnexpectedEOF.
+//
+//repro:hotpath
 func (fr *FrameReader) Read() (typ byte, payload []byte, err error) {
 	if _, err := io.ReadFull(fr.r, fr.hdr[:]); err != nil {
 		if errors.Is(err, io.EOF) {

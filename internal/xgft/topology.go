@@ -98,7 +98,7 @@ func New(h int, m, w []int) (*Topology, error) {
 func MustNew(h int, m, w []int) *Topology {
 	t, err := New(h, m, w)
 	if err != nil {
-		panic(err)
+		panic(err) //lint:allow banned Must-constructor contract: callers pass compile-time-known parameters
 	}
 	return t
 }
@@ -134,9 +134,13 @@ func NewFullCrossbar(n int) (*Topology, error) {
 }
 
 // Height returns h: the level of the root switches.
+//
+//repro:hotpath
 func (t *Topology) Height() int { return t.h }
 
 // Leaves returns the number of processing (level-0) nodes.
+//
+//repro:hotpath
 func (t *Topology) Leaves() int { return t.leaves }
 
 // M returns the paper's m_{i+1} (children per level-(i+1) node).
