@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"io"
 	"net/http"
+	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
@@ -108,6 +109,129 @@ func TestCLISmoke(t *testing.T) {
 		}
 		if !strings.Contains(out.String(), "resolves/s") || !strings.Contains(out.String(), "batch RTT p50") {
 			t.Fatalf("resolveload did not report rate and latency:\n%s", out.String())
+		}
+	})
+
+	// Traced wire round trip: fabricd with head sampling on and a
+	// blackbox spool, driven by resolveload -trace. The client must
+	// report the server-side RTT split, the server's /trace must show
+	// the request spans, and a forced blackbox dump must parse.
+	t.Run("fabricd+resolveload traced", func(t *testing.T) {
+		spool := t.TempDir()
+		daemon := exec.Command(filepath.Join(bin, "fabricd"),
+			"-xgft", "2;8,8;1,4", "-addr", "127.0.0.1:0", "-listen-binary", "127.0.0.1:0",
+			"-trace-sample", "1/1", "-blackbox-dir", spool)
+		stdout, err := daemon.StdoutPipe()
+		if err != nil {
+			t.Fatal(err)
+		}
+		daemon.Stderr = &bytes.Buffer{}
+		if err := daemon.Start(); err != nil {
+			t.Fatalf("starting fabricd: %v", err)
+		}
+		defer func() {
+			daemon.Process.Kill()
+			daemon.Wait()
+		}()
+
+		// The binary announcement prints before the serving line.
+		var binAddr, httpAddr string
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			line := sc.Text()
+			if rest, ok := strings.CutPrefix(line, "fabricd: binary resolve protocol on "); ok {
+				binAddr = rest
+				continue
+			}
+			if strings.HasPrefix(line, "fabricd: serving ") {
+				if i, j := strings.LastIndex(line, " on "), strings.LastIndex(line, " (scheduler"); i >= 0 && j > i {
+					httpAddr = line[i+len(" on ") : j]
+				}
+				break
+			}
+		}
+		if binAddr == "" || httpAddr == "" {
+			t.Fatalf("fabricd never announced both listeners (bin %q http %q, scan error %v)", binAddr, httpAddr, sc.Err())
+		}
+
+		var out, errs bytes.Buffer
+		load := exec.Command(filepath.Join(bin, "resolveload"),
+			"-addr", binAddr, "-xgft", "2;8,8;1,4", "-conns", "2", "-batch", "256", "-batches", "20", "-trace")
+		load.Stdout = &out
+		load.Stderr = &errs
+		if err := load.Run(); err != nil {
+			t.Fatalf("resolveload -trace: %v\nstdout:\n%s\nstderr:\n%s", err, out.String(), errs.String())
+		}
+		if !strings.Contains(out.String(), "resolved 10240/10240 pairs in 40 batches") {
+			t.Fatalf("traced resolveload did not resolve every pair:\n%s", out.String())
+		}
+		if !strings.Contains(out.String(), "server split (avg/batch):") {
+			t.Fatalf("traced resolveload did not report the server RTT split:\n%s", out.String())
+		}
+
+		get := func(path string) []byte {
+			resp, err := http.Get("http://" + httpAddr + path)
+			if err != nil {
+				t.Fatalf("GET %s: %v", path, err)
+			}
+			defer resp.Body.Close()
+			body, err := io.ReadAll(resp.Body)
+			if err != nil {
+				t.Fatalf("GET %s: reading body: %v", path, err)
+			}
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("GET %s: status %d\n%s", path, resp.StatusCode, body)
+			}
+			return body
+		}
+		var tview struct {
+			Sample string `json:"sample"`
+			Count  uint64 `json:"count"`
+			Spans  []struct {
+				Name string `json:"name"`
+			} `json:"spans"`
+		}
+		if err := json.Unmarshal(get("/trace?n=64"), &tview); err != nil {
+			t.Fatalf("/trace does not parse: %v", err)
+		}
+		if tview.Sample != "1/1" || tview.Count == 0 || len(tview.Spans) == 0 {
+			t.Fatalf("/trace after traced load: %+v", tview)
+		}
+		seen := map[string]bool{}
+		for _, s := range tview.Spans {
+			seen[s.Name] = true
+		}
+		if !seen["wire.request"] || !seen["wire.resolve"] {
+			t.Fatalf("/trace lacks the wire request spans, saw %v", seen)
+		}
+
+		resp, err := http.Post("http://"+httpAddr+"/blackbox", "application/json", nil)
+		if err != nil {
+			t.Fatalf("POST /blackbox: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("POST /blackbox: status %d\n%s", resp.StatusCode, body)
+		}
+		var dump struct {
+			Bundle string `json:"bundle"`
+		}
+		if err := json.Unmarshal(body, &dump); err != nil || dump.Bundle == "" {
+			t.Fatalf("POST /blackbox reply does not name a bundle: %v\n%s", err, body)
+		}
+		var bundle map[string]json.RawMessage
+		raw, err := os.ReadFile(dump.Bundle)
+		if err != nil {
+			t.Fatalf("reading bundle: %v", err)
+		}
+		if err := json.Unmarshal(raw, &bundle); err != nil {
+			t.Fatalf("bundle %s is not valid JSON: %v", dump.Bundle, err)
+		}
+		for _, key := range []string{"reason", "spans", "events"} {
+			if _, ok := bundle[key]; !ok {
+				t.Fatalf("bundle lacks %q: %s", key, raw)
+			}
 		}
 	})
 

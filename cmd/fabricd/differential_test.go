@@ -91,7 +91,7 @@ func diffPairs(n, count int, key uint64, outOfRange bool) [][2]int {
 // /resolve answers agree pair by pair — on the healthy generation
 // and again on a degraded one with real unreachable pairs.
 func TestDifferentialResolvePaths(t *testing.T) {
-	d, err := build("2;8,8;1,4", "d-mod-k", "linear", "analytic", 1, true, nil, 64)
+	d, err := build(options{spec: "2;8,8;1,4", algo: "d-mod-k", policy: "linear", evaluator: "analytic", seed: 1, telemetry: true, journalCap: 64}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,7 +184,7 @@ func TestDifferentialResolvePaths(t *testing.T) {
 // when no swap happened around the request, byte-identical to the
 // in-process packed resolve of that exact generation.
 func TestDifferentialUnderGenerationSwaps(t *testing.T) {
-	d, err := build("2;8,8;1,4", "d-mod-k", "linear", "analytic", 1, true, nil, 64)
+	d, err := build(options{spec: "2;8,8;1,4", algo: "d-mod-k", policy: "linear", evaluator: "analytic", seed: 1, telemetry: true, journalCap: 64}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,5 +307,55 @@ func TestDifferentialUnderGenerationSwaps(t *testing.T) {
 	t.Logf("200 churned batches: %d exact-match windows, %d raced swaps (%d total swaps)", exact, raced, swaps.Load())
 	if swaps.Load() == 0 {
 		t.Error("churn produced no generation swaps; raced arm untested")
+	}
+}
+
+// TestDifferentialTracedProtocol proves the wire protocol's trace
+// extension changes observability, not answers: on a tracer-enabled
+// server, the traced (v2) and untraced (v1) request variants on the
+// same connection return byte-identical generations and packed route
+// payloads, and the traced response's timing trailer is coherent.
+func TestDifferentialTracedProtocol(t *testing.T) {
+	d := tracedDaemon(t, "", 0)
+	f := d.f
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &wire.Server{Resolver: f, Metrics: d.reg, Tracer: d.tracer}
+	go srv.Serve(l)
+	t.Cleanup(func() { srv.Close() })
+	wc, err := wire.Dial(l.Addr().String(), 5*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { wc.Close() })
+	n := f.Topology().Leaves()
+
+	for key := uint64(1); key <= 3; key++ {
+		pairs := diffPairs(n, 256, key, true)
+		gen, packed, err := wc.ResolveBatchPacked(pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tc := wire.TraceContext{TraceHi: key, TraceLo: key + 1, SpanID: key + 2, Flags: 1}
+		tgen, tpacked, tm, err := wc.ResolveBatchPackedTraced(tc, pairs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if tgen != gen {
+			t.Fatalf("key %d: traced generation %d, untraced %d", key, tgen, gen)
+		}
+		for i := range pairs {
+			if tpacked[i] != packed[i] {
+				t.Fatalf("key %d pair %v: traced %#x, untraced %#x", key, pairs[i], tpacked[i], packed[i])
+			}
+		}
+		if tm.TotalNS <= 0 {
+			t.Fatalf("key %d: timing trailer total %d, want > 0", key, tm.TotalNS)
+		}
+		if sum := tm.DecodeNS + tm.ResolveNS + tm.EncodeNS; sum > tm.TotalNS {
+			t.Fatalf("key %d: stage sum %d exceeds total %d", key, sum, tm.TotalNS)
+		}
 	}
 }

@@ -101,6 +101,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/sched"
+	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/internal/xgft"
 )
@@ -121,6 +122,9 @@ func main() {
 		logFormat  = flag.String("log-format", "text", "structured log format: text or json")
 		journalCap = flag.Int("journal", 1024, "control-plane event journal capacity (ring entries)")
 		pprofOn    = flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/ on the HTTP listener")
+		sample     = flag.String("trace-sample", "0/1", `head-sampling rate for request traces as "num/den" (0/1 = off, 1/1 = all)`)
+		budget     = flag.Duration("span-budget", 0, "per-span latency budget; a span lasting longer triggers a blackbox dump (0 = off)")
+		bbDir      = flag.String("blackbox-dir", "", "spool directory for anomaly blackbox bundles; empty disables dumping")
 	)
 	flag.Parse()
 
@@ -140,7 +144,15 @@ func main() {
 		os.Exit(2)
 	}
 
-	d, err := build(*spec, *algo, *policy, *backend, *seed, *telemetry || *demo, logger, *journalCap)
+	num, den, err := trace.ParseRate(*sample)
+	if err != nil {
+		fatal("bad -trace-sample", err)
+	}
+	d, err := build(options{
+		spec: *spec, algo: *algo, policy: *policy, evaluator: *backend,
+		seed: *seed, telemetry: *telemetry || *demo, journalCap: *journalCap,
+		sampleNum: num, sampleDen: den, spanBudget: *budget, blackboxDir: *bbDir,
+	}, logger)
 	if err != nil {
 		fatal("startup failed", err)
 	}
@@ -168,7 +180,7 @@ func main() {
 		if err != nil {
 			fatal("binary listen failed", err)
 		}
-		srv := &wire.Server{Resolver: d.f, Metrics: d.reg}
+		srv := &wire.Server{Resolver: d.f, Metrics: d.reg, Tracer: d.tracer}
 		d.wsrv = srv
 		d.wireAddr = binL.Addr().String()
 		fmt.Printf("fabricd: binary resolve protocol on %s\n", binL.Addr())
@@ -207,7 +219,9 @@ type daemon struct {
 	s        *sched.Scheduler
 	reg      *obs.Registry
 	jnl      *obs.Journal
-	wsrv     *wire.Server // nil when -listen-binary is off
+	tracer   *trace.Tracer
+	bb       *trace.Blackbox // Dir == "" means dumping is disabled
+	wsrv     *wire.Server    // nil when -listen-binary is off
 	wireAddr string
 	started  time.Time
 	lastOpt  atomic.Pointer[optimizeOutcome]
@@ -227,16 +241,28 @@ func (d *daemon) recordOptimize(res fabric.OptimizeResult, err error) {
 	d.lastOpt.Store(out)
 }
 
-func build(spec, algoName, policyName, evalName string, seed uint64, telemetry bool, logger *slog.Logger, journalCap int) (*daemon, error) {
-	tp, err := xgft.Parse(spec)
+// options collects build's knobs: the topology and scheme, the
+// serving policies, and the tracing configuration.
+type options struct {
+	spec, algo, policy, evaluator string
+	seed                          uint64
+	telemetry                     bool
+	journalCap                    int
+	sampleNum, sampleDen          uint64 // head-sampling rate; den 0 means 1
+	spanBudget                    time.Duration
+	blackboxDir                   string // "" disables anomaly dumps
+}
+
+func build(o options, logger *slog.Logger) (*daemon, error) {
+	tp, err := xgft.Parse(o.spec)
 	if err != nil {
 		return nil, err
 	}
-	algo, err := core.NewByName(algoName, tp, seed, nil)
+	algo, err := core.NewByName(o.algo, tp, o.seed, nil)
 	if err != nil {
 		return nil, err
 	}
-	policy, err := sched.PolicyByName(policyName)
+	policy, err := sched.PolicyByName(o.policy)
 	if err != nil {
 		return nil, err
 	}
@@ -244,33 +270,56 @@ func build(spec, algoName, policyName, evalName string, seed uint64, telemetry b
 	// share one table cache; the chosen backend is wrapped in a
 	// memoizing CachedEvaluator so re-optimization rounds over a
 	// stable observed pattern never re-score. Every layer shares one
-	// metrics registry and one event journal.
+	// metrics registry, one event journal and one tracer.
 	reg := obs.NewRegistry()
-	jnl := obs.NewJournal(journalCap, logger)
+	jnl := obs.NewJournal(o.journalCap, logger)
 	cache := core.NewTableCache(16)
-	backend, err := evaluate.New(evalName, evaluate.Options{Cache: cache})
+	backend, err := evaluate.New(o.evaluator, evaluate.Options{Cache: cache})
 	if err != nil {
 		return nil, err
 	}
 	cached := evaluate.NewCached(backend, 256)
 	cached.Instrument(reg)
+	den := o.sampleDen
+	if den == 0 {
+		den = 1
+	}
+	// The blackbox is declared before the tracer so the anomaly hook
+	// can capture it; its sources are attached right after. With no
+	// spool directory the hook stays quiet (anomalies still count).
+	bb := &trace.Blackbox{Dir: o.blackboxDir, Pprof: false}
+	cfg := trace.Config{
+		SampleNum: o.sampleNum, SampleDen: den,
+		Budget: o.spanBudget, Metrics: reg,
+	}
+	if o.blackboxDir != "" {
+		cfg.OnAnomaly = func(a trace.Anomaly) {
+			if _, err := bb.Dump(a.Reason); err != nil && logger != nil {
+				logger.Error("blackbox dump failed", "reason", a.Reason, "error", err)
+			}
+		}
+	}
+	tr := trace.New(cfg)
+	bb.Tracer, bb.Journal, bb.Metrics = tr, jnl, reg
+	cached.Trace(tr)
 	f, err := fabric.New(fabric.Config{
 		Topo:      tp,
 		Algo:      algo,
 		Cache:     cache,
-		Telemetry: telemetry,
+		Telemetry: o.telemetry,
 		Evaluator: cached,
 		Metrics:   reg,
 		Journal:   jnl,
+		Tracer:    tr,
 	})
 	if err != nil {
 		return nil, err
 	}
-	s, err := sched.New(sched.Config{Fabric: f, Policy: policy, Seed: seed, Metrics: reg, Journal: jnl})
+	s, err := sched.New(sched.Config{Fabric: f, Policy: policy, Seed: o.seed, Metrics: reg, Journal: jnl, Tracer: tr})
 	if err != nil {
 		return nil, err
 	}
-	return &daemon{f: f, s: s, reg: reg, jnl: jnl, started: time.Now()}, nil
+	return &daemon{f: f, s: s, reg: reg, jnl: jnl, tracer: tr, bb: bb, started: time.Now()}, nil
 }
 
 // jobSpec builds a submission from the job endpoint's parameters: a
@@ -577,6 +626,21 @@ func newMux(d *daemon, threshold float64, pprofOn bool) *http.ServeMux {
 		d.reg.WritePrometheus(w)
 	})
 	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		// ?since=S is the incremental cursor: everything after journal
+		// sequence S, oldest first. A client that tails with the last
+		// seq it saw detects ring overruns by comparing the first
+		// returned Seq against since+1. ?n= is the plain tail.
+		if v := r.URL.Query().Get("since"); v != "" {
+			since, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				reply(w, http.StatusBadRequest, errJSON{fmt.Sprintf("bad %q: want an unsigned integer", "since")})
+				return
+			}
+			reply(w, http.StatusOK, map[string]any{
+				"seq": d.jnl.Seq(), "events": d.jnl.Since(since),
+			})
+			return
+		}
 		n := 32
 		if v := r.URL.Query().Get("n"); v != "" {
 			parsed, err := strconv.Atoi(v)
@@ -589,6 +653,51 @@ func newMux(d *daemon, threshold float64, pprofOn bool) *http.ServeMux {
 		reply(w, http.StatusOK, map[string]any{
 			"seq": d.jnl.Seq(), "events": d.jnl.Tail(n),
 		})
+	})
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
+		n := 64
+		if v := r.URL.Query().Get("n"); v != "" {
+			parsed, err := strconv.Atoi(v)
+			if err != nil || parsed < 0 {
+				reply(w, http.StatusBadRequest, errJSON{fmt.Sprintf("bad %q: want a non-negative integer", "n")})
+				return
+			}
+			n = parsed
+		}
+		num, den := d.tracer.SampleRate()
+		reply(w, http.StatusOK, map[string]any{
+			"sample":    fmt.Sprintf("%d/%d", num, den),
+			"count":     d.tracer.SpanCount(),
+			"anomalies": d.tracer.Anomalies(),
+			"names":     d.tracer.Names(),
+			"spans":     d.tracer.Spans(n),
+		})
+	})
+	mux.HandleFunc("GET /blackbox", func(w http.ResponseWriter, r *http.Request) {
+		if d.bb.Dir == "" {
+			reply(w, http.StatusNotFound, errJSON{"blackbox dumping is disabled (-blackbox-dir)"})
+			return
+		}
+		names, err := d.bb.List()
+		if err != nil {
+			reply(w, http.StatusInternalServerError, errJSON{err.Error()})
+			return
+		}
+		reply(w, http.StatusOK, map[string]any{"dir": d.bb.Dir, "bundles": names})
+	})
+	mux.HandleFunc("POST /blackbox", func(w http.ResponseWriter, r *http.Request) {
+		// Forced dump: capture the current flight recorder, journal
+		// tail and metrics right now, without waiting for an anomaly.
+		if d.bb.Dir == "" {
+			reply(w, http.StatusConflict, errJSON{"blackbox dumping is disabled (-blackbox-dir)"})
+			return
+		}
+		path, err := d.bb.Dump("forced")
+		if err != nil {
+			reply(w, http.StatusInternalServerError, errJSON{err.Error()})
+			return
+		}
+		reply(w, http.StatusOK, map[string]any{"bundle": path})
 	})
 	mux.HandleFunc("GET /wire", func(w http.ResponseWriter, r *http.Request) {
 		if d.wsrv == nil {

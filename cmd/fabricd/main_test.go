@@ -14,7 +14,7 @@ import (
 
 func testMux(t *testing.T, spec string) *http.ServeMux {
 	t.Helper()
-	d, err := build(spec, "d-mod-k", "balanced", "analytic", 1, true, nil, 64)
+	d, err := build(options{spec: spec, algo: "d-mod-k", policy: "balanced", evaluator: "analytic", seed: 1, telemetry: true, journalCap: 64}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +163,7 @@ func TestOptimizeHandler(t *testing.T) {
 }
 
 func TestOptimizeHandlerWithoutTelemetry(t *testing.T) {
-	d, err := build("2;4,4;1,4", "d-mod-k", "linear", "analytic", 1, false, nil, 64)
+	d, err := build(options{spec: "2;4,4;1,4", algo: "d-mod-k", policy: "linear", evaluator: "analytic", seed: 1, telemetry: false, journalCap: 64}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -270,7 +270,7 @@ func TestJobSubmitRejectsBadRequests(t *testing.T) {
 // resolver floods ResolveBatch (run with -race): scheduler-driven
 // optimizer swaps must never disturb the lock-free resolve path.
 func TestJobChurnRacingResolveBatch(t *testing.T) {
-	d, err := build("2;8,8;1,4", "d-mod-k", "telemetry", "analytic", 1, true, nil, 64)
+	d, err := build(options{spec: "2;8,8;1,4", algo: "d-mod-k", policy: "telemetry", evaluator: "analytic", seed: 1, telemetry: true, journalCap: 64}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

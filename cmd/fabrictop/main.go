@@ -1,18 +1,30 @@
 // Command fabrictop is a live one-screen view of a running fabricd:
-// it polls GET /metrics (Prometheus text) and GET /events (the
-// control-plane journal tail) and renders the fabric's vitals — the
-// serving generation, resolve counters and latency quantiles, wire
-// listener traffic, scheduler pool occupancy, evaluator cache
-// effectiveness — plus the most recent control-plane events.
+// it polls GET /metrics (Prometheus text), GET /events (the
+// control-plane journal, tailed incrementally with the ?since=
+// cursor) and GET /trace (the tracer's flight recorder) and renders
+// the fabric's vitals — the serving generation, resolve counters and
+// latency quantiles, wire listener traffic, scheduler pool occupancy,
+// evaluator cache effectiveness — plus the most recent control-plane
+// events and a span waterfall for the most recent trace.
 //
 // Usage:
 //
 //	fabrictop -addr 127.0.0.1:7420
-//	fabrictop -addr 127.0.0.1:7420 -interval 1s -events 12
+//	fabrictop -addr 127.0.0.1:7420 -interval 1s -events 12 -spans 12
 //	fabrictop -addr 127.0.0.1:7420 -once
+//	fabrictop -addr 127.0.0.1:7420 -once -json
+//
+// Events are tailed with the journal sequence cursor: each poll asks
+// only for events past the last one seen, and a cursor gap (the ring
+// overwrote entries between polls) is flagged on the events header
+// as "dropped N".
 //
 // -once prints a single frame and exits (no screen clearing) — the
-// scriptable form the CLI smoke test drives.
+// scriptable form the CLI smoke test drives. With -json the frame is
+// instead emitted as one deterministic JSON document (top-level and
+// nested map keys sorted, arrays in server order) bundling the
+// metrics snapshot, the event tail and the span tail — the form to
+// archive or diff.
 package main
 
 import (
@@ -29,6 +41,7 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 func main() {
@@ -37,19 +50,35 @@ func main() {
 		interval = flag.Duration("interval", 2*time.Second, "poll interval")
 		events   = flag.Int("events", 8, "journal events to show")
 		once     = flag.Bool("once", false, "print one frame and exit")
+		spans    = flag.Int("spans", 8, "flight-recorder spans to fetch for the waterfall")
+		jsonOut  = flag.Bool("json", false, "with -once: emit the frame as one deterministic JSON document")
 		timeout  = flag.Duration("timeout", 5*time.Second, "per-poll HTTP timeout")
 	)
 	flag.Parse()
+	if *jsonOut && !*once {
+		fmt.Fprintln(os.Stderr, "fabrictop: -json requires -once")
+		os.Exit(2)
+	}
 	base := *addr
 	if !strings.HasPrefix(base, "http://") && !strings.HasPrefix(base, "https://") {
 		base = "http://" + base
 	}
-	client := &http.Client{Timeout: *timeout}
+	p := &poller{
+		client: &http.Client{Timeout: *timeout},
+		base:   base, nEvents: *events, nSpans: *spans,
+	}
 	for {
-		frame, err := poll(client, base, *events)
+		frame, err := p.poll()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "fabrictop:", err)
 			os.Exit(2)
+		}
+		if *jsonOut {
+			if err := writeJSON(os.Stdout, frame); err != nil {
+				fmt.Fprintln(os.Stderr, "fabrictop:", err)
+				os.Exit(2)
+			}
+			return
 		}
 		if !*once {
 			fmt.Print("\x1b[2J\x1b[H") // clear screen, home cursor
@@ -66,12 +95,31 @@ func main() {
 type frame struct {
 	metrics map[string]float64
 	events  []obs.Event
+	dropped uint64 // journal entries lost to ring overwrites since the last poll
+	// Trace pane, absent (traced == false) when the daemon predates
+	// GET /trace.
+	traced    bool
+	sample    string
+	spanCount uint64
+	anomalies uint64
+	spans     []trace.SpanRecord
+}
+
+// poller tails a daemon across polls: it remembers the last journal
+// sequence seen so each /events request fetches only the delta, and
+// keeps the rolling display buffer of recent events.
+type poller struct {
+	client          *http.Client
+	base            string
+	nEvents, nSpans int
+	seq             uint64 // last journal sequence seen; 0 = first poll
+	tail            []obs.Event
 }
 
 // poll fetches one frame from the daemon.
-func poll(client *http.Client, base string, nEvents int) (frame, error) {
+func (p *poller) poll() (frame, error) {
 	var f frame
-	resp, err := client.Get(base + "/metrics")
+	resp, err := p.client.Get(p.base + "/metrics")
 	if err != nil {
 		return f, err
 	}
@@ -80,19 +128,93 @@ func poll(client *http.Client, base string, nEvents int) (frame, error) {
 	if err != nil {
 		return f, fmt.Errorf("parsing /metrics: %w", err)
 	}
-	resp, err = client.Get(fmt.Sprintf("%s/events?n=%d", base, nEvents))
-	if err != nil {
+	if err := p.pollEvents(&f); err != nil {
 		return f, err
+	}
+	if err := p.pollTrace(&f); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+// pollEvents tails the journal incrementally. The first poll takes a
+// plain tail; every later one uses the ?since= cursor and flags the
+// gap when the ring overwrote entries between polls.
+func (p *poller) pollEvents(f *frame) error {
+	url := fmt.Sprintf("%s/events?n=%d", p.base, p.nEvents)
+	if p.seq > 0 {
+		url = fmt.Sprintf("%s/events?since=%d", p.base, p.seq)
+	}
+	resp, err := p.client.Get(url)
+	if err != nil {
+		return err
 	}
 	defer resp.Body.Close()
 	var tail struct {
+		Seq    uint64      `json:"seq"`
 		Events []obs.Event `json:"events"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&tail); err != nil {
-		return f, fmt.Errorf("parsing /events: %w", err)
+		return fmt.Errorf("parsing /events: %w", err)
 	}
-	f.events = tail.Events
-	return f, nil
+	if p.seq > 0 && len(tail.Events) > 0 && tail.Events[0].Seq > p.seq+1 {
+		f.dropped = tail.Events[0].Seq - p.seq - 1
+	}
+	p.tail = append(p.tail, tail.Events...)
+	if len(p.tail) > p.nEvents {
+		p.tail = p.tail[len(p.tail)-p.nEvents:]
+	}
+	if tail.Seq > p.seq {
+		p.seq = tail.Seq
+	}
+	f.events = append([]obs.Event(nil), p.tail...)
+	return nil
+}
+
+// pollTrace fetches the span tail; a 404 means the daemon has no
+// tracer endpoint and the pane is skipped.
+func (p *poller) pollTrace(f *frame) error {
+	resp, err := p.client.Get(fmt.Sprintf("%s/trace?n=%d", p.base, p.nSpans))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNotFound {
+		return nil
+	}
+	var body struct {
+		Sample    string             `json:"sample"`
+		Count     uint64             `json:"count"`
+		Anomalies uint64             `json:"anomalies"`
+		Spans     []trace.SpanRecord `json:"spans"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+		return fmt.Errorf("parsing /trace: %w", err)
+	}
+	f.traced = true
+	f.sample, f.spanCount, f.anomalies, f.spans = body.Sample, body.Count, body.Anomalies, body.Spans
+	return nil
+}
+
+// writeJSON emits the frame as one deterministic JSON document:
+// top-level and nested keys ride maps (encoding/json sorts map keys),
+// arrays keep server order.
+func writeJSON(w io.Writer, f frame) error {
+	doc := map[string]any{
+		"metrics": f.metrics,
+		"events":  f.events,
+	}
+	if f.traced {
+		doc["trace"] = map[string]any{
+			"sample":    f.sample,
+			"count":     f.spanCount,
+			"anomalies": f.anomalies,
+			"spans":     f.spans,
+		}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
 }
 
 // parseMetrics reads a Prometheus text exposition into a name -> value
@@ -155,10 +277,64 @@ func render(w io.Writer, addr string, f frame, now time.Time) {
 		fmtCount(get("evaluate_cache_hits_total")), fmtCount(get("evaluate_cache_misses_total")),
 		fmtCount(get("evaluate_cache_coalesced_total")), q("evaluate_score_ns", "0.99"))
 
-	fmt.Fprintf(w, "events    (%d most recent)\n", len(f.events))
+	if f.traced {
+		fmt.Fprintf(w, "trace     sample %s  spans %d  anomalies %d\n",
+			f.sample, f.spanCount, f.anomalies)
+		renderWaterfall(w, f.spans)
+	}
+
+	if f.dropped > 0 {
+		fmt.Fprintf(w, "events    (%d most recent, dropped %d)\n", len(f.events), f.dropped)
+	} else {
+		fmt.Fprintf(w, "events    (%d most recent)\n", len(f.events))
+	}
 	for _, ev := range f.events {
 		fmt.Fprintf(w, "  #%-4d %s  %-16s %s\n",
 			ev.Seq, ev.Time.Format("15:04:05"), ev.Type, eventFields(ev))
+	}
+}
+
+// renderWaterfall draws the most recent trace in the span tail as an
+// offset/duration waterfall: every span of that trace, start order,
+// bar position scaled to the trace's time window.
+func renderWaterfall(w io.Writer, spans []trace.SpanRecord) {
+	if len(spans) == 0 {
+		return
+	}
+	id := spans[len(spans)-1].TraceID
+	var tr []trace.SpanRecord
+	for _, s := range spans {
+		if s.TraceID == id {
+			tr = append(tr, s)
+		}
+	}
+	sort.SliceStable(tr, func(i, j int) bool { return tr[i].Start < tr[j].Start })
+	lo, hi := tr[0].Start, tr[0].Start+tr[0].Dur
+	for _, s := range tr {
+		if s.Start < lo {
+			lo = s.Start
+		}
+		if end := s.Start + s.Dur; end > hi {
+			hi = end
+		}
+	}
+	span := hi - lo
+	if span <= 0 {
+		span = 1
+	}
+	const cols = 32
+	fmt.Fprintf(w, "  trace %s… (%d spans, %s)\n", id[:8], len(tr), fmtDur(float64(span)))
+	for _, s := range tr {
+		from := int(int64(cols) * (s.Start - lo) / span)
+		width := int(int64(cols) * s.Dur / span)
+		if width < 1 {
+			width = 1
+		}
+		if from+width > cols {
+			width = cols - from
+		}
+		bar := strings.Repeat(" ", from) + strings.Repeat("#", width)
+		fmt.Fprintf(w, "    %-28s |%-*s| %s\n", s.Name, cols, bar, fmtDur(float64(s.Dur)))
 	}
 }
 

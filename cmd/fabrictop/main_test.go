@@ -4,11 +4,13 @@ import (
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
 
 // testDaemon serves canned /metrics and /events the way fabricd does:
@@ -65,7 +67,8 @@ func testDaemon(t *testing.T) *httptest.Server {
 
 func TestPollAndRender(t *testing.T) {
 	srv := testDaemon(t)
-	f, err := poll(srv.Client(), srv.URL, 8)
+	p := &poller{client: srv.Client(), base: srv.URL, nEvents: 8, nSpans: 8}
+	f, err := p.poll()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,5 +134,147 @@ func TestFormatters(t *testing.T) {
 	}
 	if got := fmtDur(2500); got != "2.5µs" {
 		t.Errorf("fmtDur = %q", got)
+	}
+}
+
+// tracedTestDaemon serves /metrics, a cursorable /events and /trace
+// the way a tracing fabricd does, from live obs/trace instances.
+func tracedTestDaemon(t *testing.T, jnl *obs.Journal, tr *trace.Tracer) *httptest.Server {
+	t.Helper()
+	reg := obs.NewRegistry()
+	reg.Gauge("fabric_generation", "").Set(1)
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("GET /events", func(w http.ResponseWriter, r *http.Request) {
+		var evs []obs.Event
+		if v := r.URL.Query().Get("since"); v != "" {
+			since, err := strconv.ParseUint(v, 10, 64)
+			if err != nil {
+				t.Errorf("bad since %q", v)
+			}
+			evs = jnl.Since(since)
+		} else {
+			evs = jnl.Tail(8)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{"seq": jnl.Seq(), "events": evs})
+	})
+	mux.HandleFunc("GET /trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]any{
+			"sample": "1/1", "count": tr.SpanCount(), "anomalies": tr.Anomalies(),
+			"names": tr.Names(), "spans": tr.Spans(8),
+		})
+	})
+	srv := httptest.NewServer(mux)
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+// TestIncrementalTailAndGapFlag: the poller fetches only the delta on
+// repeat polls, and a ring overrun between polls is surfaced as a
+// dropped-events count.
+func TestIncrementalTailAndGapFlag(t *testing.T) {
+	jnl := obs.NewJournal(4, nil)
+	tr := trace.New(trace.Config{SampleNum: 1, SampleDen: 1, RecorderCap: 16})
+	srv := tracedTestDaemon(t, jnl, tr)
+	p := &poller{client: srv.Client(), base: srv.URL, nEvents: 8, nSpans: 8}
+
+	jnl.Record("a", 0, nil)
+	jnl.Record("b", 0, nil)
+	f, err := p.poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.events) != 2 || f.dropped != 0 {
+		t.Fatalf("first poll: %d events, dropped %d", len(f.events), f.dropped)
+	}
+
+	// One new event: the cursor fetches exactly it.
+	jnl.Record("c", 0, nil)
+	f, err = p.poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(f.events) != 3 || f.events[2].Type != "c" || f.dropped != 0 {
+		t.Fatalf("delta poll: %+v dropped %d", f.events, f.dropped)
+	}
+
+	// Overrun the capacity-4 ring: 6 more events, the cursor's next
+	// fetch starts past seq 4 — two entries are gone and flagged.
+	for _, typ := range []string{"d", "e", "f", "g", "h", "i"} {
+		jnl.Record(typ, 0, nil)
+	}
+	f, err = p.poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f.dropped != 2 {
+		t.Fatalf("dropped = %d, want 2 (ring overran the cursor)", f.dropped)
+	}
+	if len(f.events) != 7 { // 3 buffered + 4 surviving
+		t.Fatalf("rolling tail has %d events", len(f.events))
+	}
+}
+
+// TestWaterfallAndJSON: the trace pane renders the latest trace as a
+// waterfall, and -once -json emits one deterministic document.
+func TestWaterfallAndJSON(t *testing.T) {
+	jnl := obs.NewJournal(8, nil)
+	clk := int64(0)
+	tr := trace.New(trace.Config{
+		SampleNum: 1, SampleDen: 1, RecorderCap: 16,
+		Clock: func() int64 { clk += 1000; return clk },
+	})
+	root := tr.Root(1, 1)
+	req := tr.StartSpan(root, "wire.request")
+	child := tr.StartChild(req.Context(), "wire.resolve")
+	child.End()
+	req.End()
+	jnl.Record("generation.swap", 0, map[string]any{"seq": uint64(1)})
+
+	srv := tracedTestDaemon(t, jnl, tr)
+	p := &poller{client: srv.Client(), base: srv.URL, nEvents: 8, nSpans: 8}
+	f, err := p.poll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !f.traced || len(f.spans) != 2 {
+		t.Fatalf("traced %v, %d spans", f.traced, len(f.spans))
+	}
+
+	var sb strings.Builder
+	render(&sb, "test:7420", f, time.Now())
+	out := sb.String()
+	for _, want := range []string{"trace     sample 1/1", "wire.request", "wire.resolve", "#"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("render lacks %q:\n%s", want, out)
+		}
+	}
+
+	var a, b strings.Builder
+	if err := writeJSON(&a, f); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeJSON(&b, f); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Error("writeJSON is not deterministic for the same frame")
+	}
+	var doc map[string]any
+	if err := json.Unmarshal([]byte(a.String()), &doc); err != nil {
+		t.Fatalf("json doc does not parse: %v", err)
+	}
+	for _, key := range []string{"metrics", "events", "trace"} {
+		if _, ok := doc[key]; !ok {
+			t.Errorf("json doc lacks %q", key)
+		}
+	}
+	spans := doc["trace"].(map[string]any)["spans"].([]any)
+	if len(spans) != 2 {
+		t.Errorf("json doc has %d spans", len(spans))
 	}
 }

@@ -10,6 +10,7 @@
 //	resolveload -addr 127.0.0.1:7421 -xgft "2;16,16;1,16"
 //	resolveload -addr 127.0.0.1:7421 -conns 8 -batch 4096 -duration 5s
 //	resolveload -addr 127.0.0.1:7421 -conns 2 -batch 512 -batches 50
+//	resolveload -addr 127.0.0.1:7421 -trace -batches 20
 //
 // Traffic is a pure function of (-seed, connection, batch index):
 // every run with the same flags resolves the same pairs in the same
@@ -22,6 +23,14 @@
 // the same lock-free instrument fabricd serves on GET /metrics — fed
 // by every connection's wire.Client; -metrics-dump prints the run's
 // full Prometheus-text exposition after the summary.
+//
+// -trace switches every batch to the protocol's traced request
+// variant (wire frame version 2): each batch runs under a client
+// span ("resolveload.batch") whose context propagates to the server,
+// so the daemon's flight recorder (GET /trace) shows this run's
+// requests, and the response's timing trailer splits the measured RTT
+// into server-side decode/resolve/encode versus queue + network time,
+// printed after the percentile summary.
 package main
 
 import (
@@ -33,6 +42,7 @@ import (
 
 	"repro/internal/hashutil"
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/wire"
 	"repro/internal/xgft"
 )
@@ -48,9 +58,10 @@ func main() {
 		seed     = flag.Uint64("seed", 1, "traffic key")
 		timeout  = flag.Duration("timeout", 10*time.Second, "per-request network timeout")
 		dump     = flag.Bool("metrics-dump", false, "print the run's Prometheus-text metrics after the summary")
+		traced   = flag.Bool("trace", false, "propagate trace context on every batch and report the server-side RTT split")
 	)
 	flag.Parse()
-	if err := run(*addr, *spec, *conns, *batch, *batches, *duration, *seed, *timeout, *dump); err != nil {
+	if err := run(*addr, *spec, *conns, *batch, *batches, *duration, *seed, *timeout, *dump, *traced); err != nil {
 		fmt.Fprintln(os.Stderr, "resolveload:", err)
 		os.Exit(2)
 	}
@@ -63,6 +74,9 @@ type connResult struct {
 	resolved  int64
 	requested int64
 	err       error
+	// Traced-run attribution sums (nanoseconds across all batches):
+	// client-observed RTT and the server's timing-trailer stages.
+	rttNS, serverNS, decodeNS, resolveNS, encodeNS int64
 }
 
 // loadMetrics is the run's instrument set, shared by every
@@ -75,13 +89,16 @@ type loadMetrics struct {
 	requested *obs.Counter
 }
 
-// Metric names, as constants so repolint's obskeys pass can tie the
-// inventory to the code.
+// Metric and span names, as constants so repolint's obskeys pass can
+// tie the inventory to the code.
 const (
 	metricBatchRTT  = "resolveload_batch_rtt_ns"
 	metricBatches   = "resolveload_batches_total"
 	metricResolved  = "resolveload_resolved_total"
 	metricRequested = "resolveload_requested_total"
+
+	spanBatch    = "resolveload.batch"
+	attrServerNS = "server_ns"
 )
 
 func newLoadMetrics(reg *obs.Registry, conns int) *loadMetrics {
@@ -93,7 +110,7 @@ func newLoadMetrics(reg *obs.Registry, conns int) *loadMetrics {
 	}
 }
 
-func run(addr, spec string, conns, batch, batches int, duration time.Duration, seed uint64, timeout time.Duration, dump bool) error {
+func run(addr, spec string, conns, batch, batches int, duration time.Duration, seed uint64, timeout time.Duration, dump, traced bool) error {
 	tp, err := xgft.Parse(spec)
 	if err != nil {
 		return err
@@ -112,6 +129,14 @@ func run(addr, spec string, conns, batch, batches int, duration time.Duration, s
 
 	reg := obs.NewRegistry()
 	m := newLoadMetrics(reg, conns)
+	// With -trace on, every batch rides the protocol's traced request
+	// variant under a sampled client span, so the server's flight
+	// recorder sees this run's requests and the timing trailer
+	// attributes each RTT to queue+network vs server stages.
+	var tr *trace.Tracer
+	if traced {
+		tr = trace.New(trace.Config{SampleNum: 1, SampleDen: 1, Key: seed, RecorderCap: 1024, Metrics: reg})
+	}
 	results := make([]connResult, conns)
 	var wg sync.WaitGroup
 	start := time.Now()
@@ -120,7 +145,7 @@ func run(addr, spec string, conns, batch, batches int, duration time.Duration, s
 		wg.Add(1)
 		go func(ci int) {
 			defer wg.Done()
-			results[ci] = drive(addr, n, ci, batch, batches, stop, seed, timeout, m)
+			results[ci] = drive(addr, n, ci, batch, batches, stop, seed, timeout, m, tr)
 		}(ci)
 	}
 	wg.Wait()
@@ -135,6 +160,11 @@ func run(addr, spec string, conns, batch, batches int, duration time.Duration, s
 		total.batches += r.batches
 		total.resolved += r.resolved
 		total.requested += r.requested
+		total.rttNS += r.rttNS
+		total.serverNS += r.serverNS
+		total.decodeNS += r.decodeNS
+		total.resolveNS += r.resolveNS
+		total.encodeNS += r.encodeNS
 	}
 	if total.batches == 0 {
 		return fmt.Errorf("no batches completed")
@@ -146,6 +176,19 @@ func run(addr, spec string, conns, batch, batches int, duration time.Duration, s
 	fmt.Printf("  batch RTT p50 %v p90 %v p99 %v max %v\n",
 		q(0.50).Round(time.Microsecond), q(0.90).Round(time.Microsecond),
 		q(0.99).Round(time.Microsecond), time.Duration(m.rtt.Max()).Round(time.Microsecond))
+	if traced {
+		// Average per-batch attribution: the server's timing trailer
+		// splits its share of the RTT into decode/resolve/encode; the
+		// remainder against the client-observed RTT is queue + network.
+		nb := int64(total.batches)
+		avg := func(sum int64) time.Duration { return time.Duration(sum / nb).Round(time.Microsecond) }
+		queue := total.rttNS - total.serverNS
+		if queue < 0 {
+			queue = 0
+		}
+		fmt.Printf("  server split (avg/batch): decode %v resolve %v encode %v server-total %v, queue+net %v\n",
+			avg(total.decodeNS), avg(total.resolveNS), avg(total.encodeNS), avg(total.serverNS), avg(queue))
+	}
 	if dump {
 		fmt.Println()
 		if err := reg.WritePrometheus(os.Stdout); err != nil {
@@ -159,7 +202,7 @@ func run(addr, spec string, conns, batch, batches int, duration time.Duration, s
 // stream keyed by (seed, connection, batch index), so the traffic is
 // reproducible per flag set. Latency lands in the shared histogram
 // via the client's own RTT instrument.
-func drive(addr string, n, ci, batch, batches int, stop time.Time, seed uint64, timeout time.Duration, m *loadMetrics) connResult {
+func drive(addr string, n, ci, batch, batches int, stop time.Time, seed uint64, timeout time.Duration, m *loadMetrics, tr *trace.Tracer) connResult {
 	var res connResult
 	c, err := wire.Dial(addr, timeout)
 	if err != nil {
@@ -182,7 +225,33 @@ func drive(addr string, n, ci, batch, batches int, stop time.Time, seed uint64, 
 		for i := range pairs {
 			pairs[i] = [2]int{st.Intn(n), st.Intn(n)}
 		}
-		_, packed, err := c.ResolveBatchPacked(pairs)
+		var packed []uint64
+		if tr != nil {
+			// One client span per batch, rooted at (connection, batch
+			// index) so the trace ids — and the server's sampling
+			// verdict — are reproducible run to run. The span context
+			// rides the request; the response's timing trailer
+			// attributes the RTT.
+			root := tr.Root(uint64(ci)+1, uint64(bi)+1)
+			sp := tr.StartSpan(root, spanBatch)
+			rstart := time.Now()
+			var tm wire.Timing
+			_, packed, tm, err = c.ResolveBatchPackedTraced(wire.TraceContext{
+				TraceHi: root.Trace.Hi, TraceLo: root.Trace.Lo,
+				SpanID: sp.Context().Span, Flags: root.Flags,
+			}, pairs)
+			if err == nil {
+				res.rttNS += time.Since(rstart).Nanoseconds()
+				res.serverNS += tm.TotalNS
+				res.decodeNS += tm.DecodeNS
+				res.resolveNS += tm.ResolveNS
+				res.encodeNS += tm.EncodeNS
+				sp.SetAttr(attrServerNS, tm.TotalNS)
+			}
+			sp.End()
+		} else {
+			_, packed, err = c.ResolveBatchPacked(pairs)
+		}
 		if err != nil {
 			res.err = err
 			return res

@@ -10,6 +10,7 @@ import (
 	"repro/internal/hashutil"
 	"repro/internal/obs"
 	"repro/internal/pattern"
+	"repro/internal/trace"
 	"repro/internal/xgft"
 )
 
@@ -56,6 +57,7 @@ type CachedEvaluator struct {
 	misses    atomic.Uint64
 	coalesced atomic.Uint64
 	scoreNS   atomic.Pointer[obs.Histogram]
+	tracer    atomic.Pointer[trace.Tracer]
 
 	mu       sync.Mutex
 	entries  map[scoreKey]Result         // guarded by mu
@@ -80,7 +82,23 @@ const (
 	metricCacheMisses    = "evaluate_cache_misses_total"
 	metricCacheCoalesced = "evaluate_cache_coalesced_total"
 	metricScoreNS        = "evaluate_score_ns"
+
+	spanScore     = "evaluate.score"
+	attrHit       = "hit"
+	attrCoalesced = "coalesced"
 )
+
+// SpanNames lists every span name the cached evaluator can record,
+// for the docs-drift check and the fabricd trace inventory.
+func SpanNames() []string { return []string{spanScore} }
+
+// Trace attaches a tracer: every memoized evaluation records an
+// evaluate.score span annotated hit/miss (and coalesced when the call
+// waited on an identical in-flight evaluation). The span's trace id
+// derives from the score key's content hash, so identical evaluations
+// land in the same trace across runs and the sampling verdict for a
+// given scoring problem is stable. Call before concurrent use.
+func (c *CachedEvaluator) Trace(tr *trace.Tracer) { c.tracer.Store(tr) }
 
 // Instrument registers the evaluate_* instruments on the registry:
 // hit/miss/coalesce counters sampled at scrape time from the cache's
@@ -165,16 +183,26 @@ func routesFingerprint(routes []xgft.Route) uint64 {
 // including the panic guard: the flight always completes so waiters
 // never hang and the key never wedges.
 func (c *CachedEvaluator) memoized(key scoreKey, compute func() (Result, error)) (Result, error) {
+	// The span's trace derives from the key content, so the same
+	// scoring problem traces identically whether it hits or misses —
+	// a hit shows as a microsecond span, a miss as the backend's cost.
+	tr := c.tracer.Load()
+	sp := tr.StartSpan(tr.Root(key.content, uint64(key.kind)), spanScore)
 	c.mu.Lock()
 	if res, ok := c.entries[key]; ok {
 		c.mu.Unlock()
 		c.hits.Add(1)
+		sp.SetAttr(attrHit, 1)
+		sp.End()
 		return res, nil
 	}
 	if fl := c.inflight[key]; fl != nil {
 		c.mu.Unlock()
 		<-fl.done
 		c.coalesced.Add(1)
+		sp.SetAttr(attrHit, 0)
+		sp.SetAttr(attrCoalesced, 1)
+		sp.End()
 		return fl.res, fl.err
 	}
 	fl := &inflightScore{done: make(chan struct{})}
@@ -207,6 +235,8 @@ func (c *CachedEvaluator) memoized(key scoreKey, compute func() (Result, error))
 	if h := c.scoreNS.Load(); h != nil {
 		h.Observe(time.Since(start).Nanoseconds()) //lint:allow nondeterminism backend latency measurement is observational (histogram only)
 	}
+	sp.SetAttr(attrHit, 0)
+	sp.End()
 	return fl.res, fl.err
 }
 

@@ -1,0 +1,75 @@
+package evaluate
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/pattern"
+	"repro/internal/trace"
+)
+
+// TestCachedEvaluatorSpans: with a tracer attached, every memoized
+// evaluation records an evaluate.score span annotated hit/miss, and
+// the same scoring problem lands in the same deterministic trace on
+// both the miss and the hit.
+func TestCachedEvaluatorSpans(t *testing.T) {
+	tp := mustTree(t, 4, 4, 2)
+	c := NewCached(NewAnalytic(nil), 16)
+	tr := trace.New(trace.Config{SampleNum: 1, SampleDen: 1, RecorderCap: 16})
+	c.Trace(tr)
+
+	algo := core.NewDModK(tp)
+	phases := []*pattern.Pattern{pattern.KeyedRandomPermutation(tp.Leaves(), 4096, 1)}
+	if _, err := c.Score(tp, algo, phases); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Score(tp, algo, phases); err != nil {
+		t.Fatal(err)
+	}
+
+	recs := tr.Spans(0)
+	if len(recs) != 2 {
+		t.Fatalf("recorded %d spans, want 2: %+v", len(recs), recs)
+	}
+	miss, hit := recs[0], recs[1]
+	if miss.Name != "evaluate.score" || hit.Name != "evaluate.score" {
+		t.Fatalf("span names %q, %q, want evaluate.score", miss.Name, hit.Name)
+	}
+	if miss.Attrs["hit"] != 0 {
+		t.Errorf("first evaluation span attrs = %v, want a miss", miss.Attrs)
+	}
+	if hit.Attrs["hit"] != 1 {
+		t.Errorf("second evaluation span attrs = %v, want a hit", hit.Attrs)
+	}
+	// The trace id derives from the score key, so hit and miss of the
+	// same problem share a trace; a different problem does not.
+	if miss.TraceID != hit.TraceID {
+		t.Errorf("hit trace %s != miss trace %s for the same key", hit.TraceID, miss.TraceID)
+	}
+	other := []*pattern.Pattern{pattern.KeyedRandomPermutation(tp.Leaves(), 4096, 2)}
+	if _, err := c.Score(tp, algo, other); err != nil {
+		t.Fatal(err)
+	}
+	if last := tr.Spans(1)[0]; last.TraceID == miss.TraceID {
+		t.Error("distinct scoring problems share a trace id")
+	}
+
+	names := map[string]bool{}
+	for _, n := range SpanNames() {
+		names[n] = true
+	}
+	for _, n := range tr.Names() {
+		if !names[n] {
+			t.Errorf("span %q recorded but missing from SpanNames()", n)
+		}
+	}
+
+	// An uninstrumented cache records nothing (nil tracer is a no-op).
+	c2 := NewCached(NewAnalytic(nil), 16)
+	if _, err := c2.Score(tp, algo, phases); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.SpanCount(); got != 3 {
+		t.Errorf("span count %d after untraced evaluation, want 3", got)
+	}
+}

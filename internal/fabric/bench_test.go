@@ -6,6 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/hashutil"
 	"repro/internal/obs"
+	"repro/internal/trace"
 	"repro/internal/xgft"
 )
 
@@ -93,6 +94,40 @@ func BenchmarkResolveBatchPackedObserved(b *testing.B) {
 	f, err := New(Config{
 		Topo: tp, Algo: core.NewDModK(tp),
 		Telemetry: true, Metrics: reg, Journal: obs.NewJournal(64, nil),
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := tp.Leaves()
+	const batch = 4096
+	pairs := make([][2]int, batch)
+	out := make([]uint64, batch)
+	h := uint64(1)
+	for i := range pairs {
+		h = hashutil.Splitmix64(h)
+		pairs[i] = [2]int{int(h % uint64(n)), int(h >> 32 % uint64(n))}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.ResolveBatchPacked(pairs, out)
+	}
+	b.ReportMetric(float64(batch)*float64(b.N)/b.Elapsed().Seconds(), "routes/s")
+}
+
+// BenchmarkResolveBatchPackedTraced is the wire-speed hot path with
+// full observability plus a tracer (sampling off — the production
+// default): per batch the tracing layer adds one root mint, two clock
+// reads and a flight-recorder write. The bench gate holds it to the
+// same regression budget as the untraced observed path.
+func BenchmarkResolveBatchPackedTraced(b *testing.B) {
+	tp := xgft.MustNew(2, []int{16, 16}, []int{1, 16})
+	reg := obs.NewRegistry()
+	tr := trace.New(trace.Config{SampleNum: 0, SampleDen: 1, RecorderCap: 4096})
+	f, err := New(Config{
+		Topo: tp, Algo: core.NewDModK(tp),
+		Telemetry: true, Metrics: reg, Journal: obs.NewJournal(64, nil),
+		Tracer: tr,
 	})
 	if err != nil {
 		b.Fatal(err)

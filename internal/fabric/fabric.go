@@ -21,6 +21,7 @@ import (
 	"repro/internal/evaluate"
 	"repro/internal/obs"
 	"repro/internal/pattern"
+	"repro/internal/trace"
 	"repro/internal/xgft"
 )
 
@@ -64,6 +65,12 @@ type Config struct {
 	// operations, and Optimize decisions with per-candidate scores.
 	// nil disables event recording.
 	Journal *obs.Journal
+	// Tracer records spans: one per packed batch resolve (joining the
+	// caller's trace when handed a context, locally rooted otherwise)
+	// and one per Optimize pass with per-candidate children. An
+	// Optimize outcome flip-flopping within a few passes reports a
+	// flipflop anomaly through the tracer. nil disables spans.
+	Tracer *trace.Tracer
 }
 
 // Fabric serves routing decisions for one topology under one scheme,
@@ -79,10 +86,12 @@ type Fabric struct {
 	pairs *pattern.Pattern // all-pairs probe pattern, shard fill order
 	tel   *Telemetry       // nil when telemetry is disabled
 
-	m        *fabricMetrics // nil when metrics are disabled
-	journal  *obs.Journal   // nil when event recording is disabled
-	served   atomic.Uint64  // resolves served by the current generation (metrics only)
-	lastSwap atomic.Int64   // unixnano of the last generation publish
+	m        *fabricMetrics      // nil when metrics are disabled
+	journal  *obs.Journal        // nil when event recording is disabled
+	tracer   *trace.Tracer       // nil when span recording is disabled
+	flips    *trace.FlipDetector // optimize-outcome flip-flop watch
+	served   atomic.Uint64       // resolves served by the current generation (metrics only)
+	lastSwap atomic.Int64        // unixnano of the last generation publish
 
 	mu  sync.Mutex // serializes generation changes
 	gen atomic.Pointer[Generation]
@@ -117,6 +126,27 @@ const (
 	eventOptimize       = "optimize"
 	eventOptimizeError  = "optimize.error"
 )
+
+// Span names the fabric records (constants for repolint's obskeys
+// pass), and the attribute keys they carry.
+const (
+	spanBatchPacked = "fabric.resolve_batch_packed"
+	spanOptimize    = "fabric.optimize"
+	spanCandidate   = "fabric.optimize.candidate"
+
+	attrPairs       = "pairs"
+	attrResolved    = "resolved"
+	attrGen         = "gen"
+	attrSwapped     = "swapped"
+	attrCandidates  = "candidates"
+	attrSlowdownPPM = "slowdown_ppm"
+)
+
+// SpanNames lists every span name this package records, for the
+// documentation drift test.
+func SpanNames() []string {
+	return []string{spanBatchPacked, spanOptimize, spanCandidate}
+}
 
 func newFabricMetrics(reg *obs.Registry) *fabricMetrics {
 	return &fabricMetrics{
@@ -173,6 +203,8 @@ func New(cfg Config) (*Fabric, error) {
 			func() float64 { return float64(f.served.Load()) })
 	}
 	f.journal = cfg.Journal
+	f.tracer = cfg.Tracer
+	f.flips = trace.NewFlipDetector(0)
 	gen, err := f.buildHealthy(0)
 	if err != nil {
 		return nil, err
@@ -314,6 +346,19 @@ func (f *Fabric) recordBatch(hist *obs.Histogram, pairs [][2]int, resolved int, 
 //
 //repro:hotpath
 func (f *Fabric) ResolveBatchPacked(pairs [][2]int, out []uint64) (resolved int, generation uint64) {
+	return f.ResolveBatchPackedTraced(trace.SpanContext{}, pairs, out)
+}
+
+// ResolveBatchPackedTraced is ResolveBatchPacked joining the caller's
+// trace: the batch span becomes a child of parent (inheriting its
+// sampling verdict) instead of a locally minted root. The wire server
+// calls this so one trace id ties the client span, the wire.request
+// span and the fabric batch span together. An invalid (zero) parent
+// degrades to exactly ResolveBatchPacked.
+//
+//repro:hotpath
+func (f *Fabric) ResolveBatchPackedTraced(parent trace.SpanContext, pairs [][2]int, out []uint64) (resolved int, generation uint64) {
+	sp := f.tracer.StartSpan(parent, spanBatchPacked)
 	var start time.Time
 	if f.m != nil {
 		start = time.Now() //lint:allow nondeterminism batch latency measurement is observational
@@ -333,6 +378,10 @@ func (f *Fabric) ResolveBatchPacked(pairs [][2]int, out []uint64) (resolved int,
 	if f.m != nil {
 		f.recordBatch(f.m.packedNS, pairs, resolved, start)
 	}
+	sp.SetAttr(attrPairs, int64(len(pairs)))
+	sp.SetAttr(attrResolved, int64(resolved))
+	sp.SetAttr(attrGen, int64(gen.stats.Seq))
+	sp.End()
 	return resolved, gen.stats.Seq
 }
 

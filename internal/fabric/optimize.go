@@ -7,6 +7,7 @@ import (
 	"repro/internal/contention"
 	"repro/internal/core"
 	"repro/internal/pattern"
+	"repro/internal/trace"
 	"repro/internal/xgft"
 )
 
@@ -114,6 +115,22 @@ func (f *Fabric) Optimize(cfg OptimizeConfig) (res OptimizeResult, err error) {
 	// — or the failure that aborted it. It lands after the swap event
 	// publish fires, so a journal tail reads swap-then-why.
 	defer func() { f.journalOptimize(res, err, cfg.Threshold, time.Since(start)) }() //lint:allow nondeterminism optimizer wall time is observational (journal only)
+	// The pass span wraps scoring and the swap decision; a decision
+	// outcome that flip-flops (swap, no-swap, swap again within the
+	// detector window) is the instability anomaly the blackbox captures.
+	sp := f.tracer.StartSpan(trace.SpanContext{}, spanOptimize)
+	defer func() {
+		sp.SetAttr(attrCandidates, int64(len(res.Candidates)))
+		swapped := int64(0)
+		if res.Swapped {
+			swapped = 1
+		}
+		sp.SetAttr(attrSwapped, swapped)
+		sp.End()
+		if err == nil && f.tracer != nil && f.flips.Note(res.Swapped) {
+			f.tracer.ReportAnomaly(trace.ReasonFlipFlop)
+		}
+	}()
 	f.mu.Lock()
 	defer f.mu.Unlock()
 
@@ -147,8 +164,10 @@ func (f *Fabric) Optimize(cfg OptimizeConfig) (res OptimizeResult, err error) {
 
 	var bestTbl *core.Table
 	for _, cand := range f.candidates(obs, cfg.Seed) {
+		cs := f.tracer.StartChild(sp.Context(), spanCandidate)
 		tbl, err := f.cache.Build(f.topo, cand, f.pairs)
 		if err != nil {
+			cs.End()
 			return res, fmt.Errorf("fabric: candidate %s: %w", cand.Name(), err)
 		}
 		n := f.topo.Leaves()
@@ -156,8 +175,11 @@ func (f *Fabric) Optimize(cfg OptimizeConfig) (res OptimizeResult, err error) {
 			return core.RerouteAvoiding(view, tbl.Routes[allPairsIndex(n, s, d)])
 		})
 		if err != nil {
+			cs.End()
 			return res, fmt.Errorf("fabric: candidate %s: %w", cand.Name(), err)
 		}
+		cs.SetAttr(attrSlowdownPPM, int64(score*1e6))
+		cs.End()
 		res.Candidates = append(res.Candidates, CandidateScore{Algo: cand.Name(), Slowdown: score})
 		if bestTbl == nil || score < res.BestSlowdown {
 			bestTbl = tbl

@@ -8,7 +8,11 @@ package hashutil
 
 // Splitmix64 advances the splitmix64 state and returns the next
 // value (Steele et al., "Fast splittable pseudorandom number
-// generators").
+// generators"). Pure arithmetic, so it is safe on the resolve hot
+// path (trace-id derivation and head sampling hash through it per
+// span).
+//
+//repro:hotpath
 func Splitmix64(x uint64) uint64 {
 	x += 0x9e3779b97f4a7c15
 	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9

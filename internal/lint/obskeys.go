@@ -9,28 +9,42 @@ import (
 	"strings"
 )
 
-// ObskeysAnalyzer keeps the metric and journal namespace greppable:
-// every metric name and journal event type handed to internal/obs
-// must be an in-package string constant whose value matches
-// ^[a-z][a-z0-9_.]*$ (optionally followed by one {label="value"}
-// suffix). A constant name is a stable grep anchor, so the README
-// metric inventory cannot drift from the code; a fmt.Sprintf'd or
-// concatenated name can.
+// ObskeysAnalyzer keeps the metric, journal and span namespace
+// greppable: every metric name, journal event type and span name
+// handed to internal/obs or internal/trace must be an in-package
+// string constant whose value matches ^[a-z][a-z0-9_.]*$ (optionally
+// followed by one {label="value"} suffix). A constant name is a
+// stable grep anchor, so the README metric inventory and the
+// docs/ARCHITECTURE.md span inventory cannot drift from the code; a
+// fmt.Sprintf'd or concatenated name can.
 var ObskeysAnalyzer = &Analyzer{
 	Name: "obskeys",
-	Doc:  "requires metric names and journal event types to be in-package constants matching ^[a-z][a-z0-9_.]*$",
+	Doc:  "requires metric names, journal event types and span names to be in-package constants matching ^[a-z][a-z0-9_.]*$",
 	Run:  runObskeys,
 }
 
-// obsNameFuncs are the internal/obs entry points whose first string
-// argument is a metric name or journal event type.
-var obsNameFuncs = map[string]bool{
-	"Counter":     true,
-	"Gauge":       true,
-	"Histogram":   true,
-	"CounterFunc": true,
-	"GaugeFunc":   true,
-	"Record":      true, // Journal.Record(typ, ...)
+// obsNameFunc describes one vetted entry point: the defining package
+// (as a suffix under the module path) and the index of the name
+// argument.
+type obsNameFunc struct {
+	pkg string
+	arg int
+}
+
+// obsNameFuncs are the internal/obs and internal/trace entry points
+// whose string argument is a metric name, journal event type or span
+// name.
+var obsNameFuncs = map[string]obsNameFunc{
+	"Counter":     {pkg: "/internal/obs", arg: 0},
+	"Gauge":       {pkg: "/internal/obs", arg: 0},
+	"Histogram":   {pkg: "/internal/obs", arg: 0},
+	"CounterFunc": {pkg: "/internal/obs", arg: 0},
+	"GaugeFunc":   {pkg: "/internal/obs", arg: 0},
+	"Record":      {pkg: "/internal/obs", arg: 0}, // Journal.Record(typ, ...)
+	"Start":       {pkg: "/internal/trace", arg: 1},
+	"StartSpan":   {pkg: "/internal/trace", arg: 1},
+	"StartChild":  {pkg: "/internal/trace", arg: 1},
+	"SetBudget":   {pkg: "/internal/trace", arg: 0},
 }
 
 var (
@@ -50,13 +64,21 @@ func runObskeys(prog *Program, pkg *Package) []Finding {
 				return true
 			}
 			fn := calleeFunc(pkg.Info, call)
-			if fn == nil || fn.Pkg() == nil || !obsNameFuncs[fn.Name()] {
+			if fn == nil || fn.Pkg() == nil {
 				return true
 			}
-			if fn.Pkg().Path() != prog.Module+"/internal/obs" {
+			spec, ok := obsNameFuncs[fn.Name()]
+			if !ok || fn.Pkg().Path() != prog.Module+spec.pkg {
 				return true
 			}
-			findings = append(findings, checkObsName(pkg, fn.Name(), call.Args[0])...)
+			// The defining package may route names through its own
+			// wrappers (trace.Start delegates to StartSpan with a
+			// variable); call sites elsewhere are what must be constant.
+			if pkg.Pkg == fn.Pkg() || len(call.Args) <= spec.arg {
+				return true
+			}
+			callee := strings.TrimPrefix(spec.pkg, "/internal/") + "." + fn.Name()
+			findings = append(findings, checkObsName(pkg, callee, call.Args[spec.arg])...)
 			return true
 		})
 	}
@@ -72,7 +94,7 @@ func checkObsName(pkg *Package, callee string, arg ast.Expr) []Finding {
 		return []Finding{{
 			Pos:      pos,
 			Analyzer: "obskeys",
-			Message:  fmt.Sprintf("name passed to obs.%s must be an in-package string constant (got an expression); constants keep the metric inventory greppable", callee),
+			Message:  fmt.Sprintf("name passed to %s must be an in-package string constant (got an expression); constants keep the metric inventory greppable", callee),
 		}}
 	}
 	obj := pkg.Info.ObjectOf(ident)
@@ -81,14 +103,14 @@ func checkObsName(pkg *Package, callee string, arg ast.Expr) []Finding {
 		return []Finding{{
 			Pos:      pos,
 			Analyzer: "obskeys",
-			Message:  fmt.Sprintf("name %q passed to obs.%s must be a string constant, not a variable", ident.Name, callee),
+			Message:  fmt.Sprintf("name %q passed to %s must be a string constant, not a variable", ident.Name, callee),
 		}}
 	}
 	if cst.Pkg() != pkg.Pkg {
 		return []Finding{{
 			Pos:      pos,
 			Analyzer: "obskeys",
-			Message:  fmt.Sprintf("constant %s passed to obs.%s is declared outside this package; declare metric names in the package that owns them", ident.Name, callee),
+			Message:  fmt.Sprintf("constant %s passed to %s is declared outside this package; declare metric names in the package that owns them", ident.Name, callee),
 		}}
 	}
 	if cst.Val().Kind() != constant.String {

@@ -1,0 +1,34 @@
+// Span-name fixtures for the obskeys analyzer: names passed to
+// trace.Tracer.Start/StartSpan/StartChild/SetBudget as literals,
+// variables, out-of-package constants and malformed constants, plus
+// well-formed in-package constants that must not be flagged.
+package obskeys
+
+import (
+	"context"
+
+	"repro/internal/trace"
+)
+
+const (
+	goodSpan = "fixture.resolve"
+	badSpan  = "Fixture-Resolve"
+)
+
+var varSpan = "fixture.place"
+
+// Trace exercises every span-name shape.
+func Trace(tr *trace.Tracer) {
+	sc := tr.Root(1, 2)
+	s := tr.StartSpan(sc, goodSpan)
+	s.End()
+	c := tr.StartChild(sc, "fixture.literal") // want: not a constant
+	c.End()
+	v := tr.StartSpan(sc, varSpan) // want: not a constant
+	v.End()
+	b := tr.StartSpan(sc, badSpan) // want: bad name
+	b.End()
+	tr.SetBudget(trace.ReasonBudget, 0) // want: constant from another package
+	_, s2 := tr.Start(context.Background(), goodSpan)
+	s2.End()
+}

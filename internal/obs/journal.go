@@ -108,6 +108,33 @@ func (j *Journal) Tail(n int) []Event {
 	return out
 }
 
+// Since returns every retained event with Seq > seq, oldest first.
+// Since(0) is the full retained tail. If events past seq were already
+// overwritten, the result starts later than seq+1 — callers detect the
+// gap by comparing the first returned Seq against seq+1.
+func (j *Journal) Since(seq uint64) []Event {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	// The oldest retained event has sequence seq-n+1; everything the
+	// caller has not seen is the newest min(n, j.seq-seq) entries.
+	if seq >= j.seq {
+		return nil
+	}
+	n := int(j.seq - seq)
+	if n > j.n {
+		n = j.n
+	}
+	out := make([]Event, n)
+	start := j.next - n
+	if start < 0 {
+		start += len(j.ring)
+	}
+	for i := 0; i < n; i++ {
+		out[i] = j.ring[(start+i)%len(j.ring)]
+	}
+	return out
+}
+
 // Seq returns the sequence number of the newest event (0 when empty).
 func (j *Journal) Seq() uint64 {
 	j.mu.Lock()

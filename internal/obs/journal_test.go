@@ -51,6 +51,38 @@ func TestJournalTailOrderAndWraparound(t *testing.T) {
 	}
 }
 
+func TestJournalSince(t *testing.T) {
+	j := NewJournal(4, nil)
+	if got := j.Since(0); got != nil {
+		t.Fatalf("Since on empty journal = %+v", got)
+	}
+	for i := 1; i <= 10; i++ {
+		j.Record("tick", 0, map[string]any{"i": i})
+	}
+	// Caller saw through seq 8: events 9 and 10 are new.
+	got := j.Since(8)
+	if len(got) != 2 || got[0].Seq != 9 || got[1].Seq != 10 {
+		t.Fatalf("Since(8) = %+v", got)
+	}
+	// Caller saw through seq 2, but the ring only retains 7..10: the
+	// gap (first Seq != 3) is visible to the caller.
+	got = j.Since(2)
+	if len(got) != 4 || got[0].Seq != 7 {
+		t.Fatalf("Since(2) = %+v", got)
+	}
+	// Fully caught up (or ahead): nothing new.
+	if got := j.Since(10); got != nil {
+		t.Fatalf("Since(10) = %+v", got)
+	}
+	if got := j.Since(99); got != nil {
+		t.Fatalf("Since(99) = %+v", got)
+	}
+	// Since(0) is the whole retained tail.
+	if got := j.Since(0); len(got) != 4 || got[0].Seq != 7 {
+		t.Fatalf("Since(0) = %+v", got)
+	}
+}
+
 func TestJournalMinimumCapacity(t *testing.T) {
 	j := NewJournal(0, nil)
 	if j.Cap() != 1 {

@@ -26,6 +26,7 @@ import (
 	"repro/internal/fabric"
 	"repro/internal/obs"
 	"repro/internal/pattern"
+	"repro/internal/trace"
 	"repro/internal/xgft"
 )
 
@@ -56,6 +57,10 @@ type Config struct {
 	// Journal, when set, receives job.submit / job.release /
 	// job.reject events.
 	Journal *obs.Journal
+	// Tracer, when set, records a sched.place span per submission
+	// (accepted or rejected), so placement latency shows up in the
+	// same flight recorder as the resolve traffic it shapes.
+	Tracer *trace.Tracer
 }
 
 // schedMetrics are the registry instruments a scheduler records into.
@@ -89,7 +94,17 @@ const (
 	eventJobSubmit  = "job.submit"
 	eventJobReject  = "job.reject"
 	eventJobRelease = "job.release"
+
+	spanPlace = "sched.place"
+
+	attrJob    = "job"
+	attrN      = "n"
+	attrPlaced = "placed"
 )
+
+// SpanNames lists every span name the scheduler can record, for the
+// docs-drift check and the fabricd trace inventory.
+func SpanNames() []string { return []string{spanPlace} }
 
 // placementsMetric maps a policy name to its labeled counter name. A
 // future policy must add its constant (and README row) here; until it
@@ -207,6 +222,7 @@ type Scheduler struct {
 
 	m       *schedMetrics
 	journal *obs.Journal
+	tracer  *trace.Tracer
 
 	mu     sync.Mutex
 	nextID uint64          // guarded by mu
@@ -248,6 +264,7 @@ func New(cfg Config) (*Scheduler, error) {
 		s.m = newSchedMetrics(cfg.Metrics, cfg.Policy.Name())
 	}
 	s.journal = cfg.Journal
+	s.tracer = cfg.Tracer
 	s.mu.Lock()
 	s.poolGaugesLocked()
 	s.mu.Unlock()
@@ -264,8 +281,22 @@ func (s *Scheduler) Policy() string { return s.policy.Name() }
 // places the job. It returns ErrNoCapacity (wrapped) when fewer than
 // spec.N leaves are free; any other error means the spec was invalid
 // or the policy misbehaved, and the pool is unchanged either way.
-func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
+func (s *Scheduler) Submit(spec JobSpec) (job *Job, err error) {
 	start := time.Now() //lint:allow nondeterminism placement latency measurement is observational
+	// The placement span records every submission's outcome; its
+	// duration is the same decision latency the sched_place_ns
+	// histogram sees, so a slow policy trips the span budget anomaly.
+	sp := s.tracer.StartSpan(trace.SpanContext{}, spanPlace)
+	defer func() {
+		sp.SetAttr(attrN, int64(spec.N))
+		if job != nil {
+			sp.SetAttr(attrJob, int64(job.ID))
+			sp.SetAttr(attrPlaced, 1)
+		} else {
+			sp.SetAttr(attrPlaced, 0)
+		}
+		sp.End()
+	}()
 	if spec.N < 1 || spec.N > s.topo.Leaves() {
 		return nil, s.reject(spec, start, fmt.Errorf("sched: job size %d out of range [1,%d]", spec.N, s.topo.Leaves()))
 	}
@@ -317,7 +348,7 @@ func (s *Scheduler) Submit(spec JobSpec) (*Job, error) {
 	if err != nil {
 		return nil, s.reject(spec, start, fmt.Errorf("sched: policy %s returned an invalid allocation: %w", s.policy.Name(), err))
 	}
-	job := &Job{
+	job = &Job{
 		ID:     id,
 		Name:   spec.Name,
 		N:      spec.N,

@@ -1,0 +1,61 @@
+package sched_test
+
+import (
+	"testing"
+
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// TestPlacementSpans: every submission — accepted or rejected —
+// records one sched.place span carrying the outcome.
+func TestPlacementSpans(t *testing.T) {
+	tr := trace.New(trace.Config{SampleNum: 1, SampleDen: 1, RecorderCap: 16})
+	p, err := sched.PolicyByName("linear")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := sched.New(sched.Config{Fabric: testFabric(t, 8, false), Policy: p, Tracer: tr})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	job, err := s.Submit(permSpec("a", 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Submit(permSpec("big", 99, 1)); err == nil {
+		t.Fatal("oversized job accepted")
+	}
+
+	recs := tr.Spans(0)
+	if len(recs) != 2 {
+		t.Fatalf("recorded %d spans, want 2: %+v", len(recs), recs)
+	}
+	for _, r := range recs {
+		if r.Name != "sched.place" {
+			t.Fatalf("span %q, want sched.place", r.Name)
+		}
+	}
+	// Flight-recorder order is oldest-first: accept, then reject.
+	acc, rej := recs[0], recs[1]
+	if acc.Attrs["placed"] != 1 || acc.Attrs["job"] != int64(job.ID) || acc.Attrs["n"] != 8 {
+		t.Errorf("accept span attrs = %v", acc.Attrs)
+	}
+	if rej.Attrs["placed"] != 0 || rej.Attrs["n"] != 99 {
+		t.Errorf("reject span attrs = %v", rej.Attrs)
+	}
+	if _, ok := rej.Attrs["job"]; ok {
+		t.Errorf("reject span carries a job id: %v", rej.Attrs)
+	}
+
+	names := map[string]bool{}
+	for _, n := range sched.SpanNames() {
+		names[n] = true
+	}
+	for _, n := range tr.Names() {
+		if !names[n] {
+			t.Errorf("span %q recorded but missing from SpanNames()", n)
+		}
+	}
+}

@@ -112,6 +112,54 @@ func (c *Client) ResolveBatchPacked(pairs [][2]int) (generation uint64, packed [
 	return generation, c.packed, nil
 }
 
+// ResolveBatchPackedTraced is ResolveBatchPacked over the traced (v2)
+// frames: the request carries tc so the server's spans join the
+// caller's trace, and the response's timing trailer is returned — the
+// server's own time attribution, which the caller subtracts from its
+// measured RTT to isolate network and queueing. The server must speak
+// version 2; older servers reject the frame with a version error.
+func (c *Client) ResolveBatchPackedTraced(tc TraceContext, pairs [][2]int) (generation uint64, packed []uint64, tm Timing, err error) {
+	var start time.Time
+	if c.RTT != nil {
+		start = time.Now()
+	}
+	c.wbuf, err = AppendResolveRequestTraced(c.wbuf[:0], tc, pairs)
+	if err != nil {
+		return 0, nil, tm, err
+	}
+	c.conn.SetWriteDeadline(time.Now().Add(c.timeout))
+	if _, err := c.conn.Write(c.wbuf); err != nil {
+		return 0, nil, tm, fmt.Errorf("wire: writing request: %w", err)
+	}
+	c.conn.SetReadDeadline(time.Now().Add(c.timeout))
+	typ, payload, err := c.fr.Read()
+	if err != nil {
+		return 0, nil, tm, err
+	}
+	switch typ {
+	case TypeResolveResponseTraced:
+	case TypeError:
+		re, derr := DecodeError(payload)
+		if derr != nil {
+			return 0, nil, tm, derr
+		}
+		return 0, nil, tm, re
+	default:
+		return 0, nil, tm, fmt.Errorf("wire: unexpected frame type %d in response", typ)
+	}
+	generation, c.packed, tm, err = DecodeResolveResponseTraced(payload, c.packed[:0])
+	if err != nil {
+		return 0, nil, tm, err
+	}
+	if len(c.packed) != len(pairs) {
+		return 0, nil, tm, fmt.Errorf("wire: response carries %d routes for %d pairs", len(c.packed), len(pairs))
+	}
+	if c.RTT != nil {
+		c.RTT.Observe(time.Since(start).Nanoseconds())
+	}
+	return generation, c.packed, tm, nil
+}
+
 // ResolveBatch resolves the batch into materialized routes,
 // mirroring fabric.Generation.ResolveBatch exactly: out[i] is the
 // zero route for unresolvable pairs, the empty route for self pairs,

@@ -29,7 +29,10 @@ func FuzzFrameReader(f *testing.F) {
 				}
 				break
 			}
-			if typ != TypeResolveRequest && typ != TypeResolveResponse && typ != TypeError {
+			switch typ {
+			case TypeResolveRequest, TypeResolveResponse, TypeError,
+				TypeResolveRequestTraced, TypeResolveResponseTraced:
+			default:
 				t.Fatalf("reader returned undefined type %d", typ)
 			}
 			if len(payload) > MaxPayload {
@@ -89,6 +92,64 @@ func FuzzDecodeResolveResponse(f *testing.F) {
 			t.Fatalf("accepted %d routes from %d payload bytes", len(packed), len(payload))
 		}
 		frame, err := AppendResolveResponse(nil, gen, packed)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-encode: %v", err)
+		}
+		if !bytes.Equal(frame[HeaderSize:], payload) {
+			t.Fatal("decode/encode round trip changed the payload")
+		}
+	})
+}
+
+// FuzzDecodeResolveRequestTraced covers the v2 request decoder: no
+// panic, bounded batches, and bijective re-encoding (context prefix
+// included).
+func FuzzDecodeResolveRequestTraced(f *testing.F) {
+	tc := TraceContext{TraceHi: 0xAB, TraceLo: 0xCD, SpanID: 0xEF, Flags: 1}
+	good, _ := AppendResolveRequestTraced(nil, tc, [][2]int{{0, 1}, {1 << 20, 3}})
+	f.Add(good[HeaderSize:])
+	f.Add(make([]byte, TraceContextSize+4))
+	f.Add([]byte{0, 0, 0, 0})
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		tc, pairs, err := DecodeResolveRequestTraced(payload, nil)
+		if err != nil {
+			return
+		}
+		if len(pairs) > MaxPairs {
+			t.Fatalf("accepted %d pairs past MaxPairs %d", len(pairs), MaxPairs)
+		}
+		if TraceContextSize+4+8*len(pairs) != len(payload) {
+			t.Fatalf("accepted %d pairs from %d payload bytes", len(pairs), len(payload))
+		}
+		frame, err := AppendResolveRequestTraced(nil, tc, pairs)
+		if err != nil {
+			t.Fatalf("accepted batch does not re-encode: %v", err)
+		}
+		if !bytes.Equal(frame[HeaderSize:], payload) {
+			t.Fatal("decode/encode round trip changed the payload")
+		}
+	})
+}
+
+// FuzzDecodeResolveResponseTraced is the traced response twin,
+// trailer included.
+func FuzzDecodeResolveResponseTraced(f *testing.F) {
+	tm := Timing{TotalNS: 100, DecodeNS: 10, ResolveNS: 60, EncodeNS: 20}
+	good, _ := AppendResolveResponseTraced(nil, 3, []uint64{0, ^uint64(0)}, tm)
+	f.Add(good[HeaderSize:])
+	f.Add(make([]byte, 12+TimingSize))
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		gen, packed, tm, err := DecodeResolveResponseTraced(payload, nil)
+		if err != nil {
+			return
+		}
+		if len(packed) > MaxPairs {
+			t.Fatalf("accepted %d routes past MaxPairs %d", len(packed), MaxPairs)
+		}
+		if 12+8*len(packed)+TimingSize != len(payload) {
+			t.Fatalf("accepted %d routes from %d payload bytes", len(packed), len(payload))
+		}
+		frame, err := AppendResolveResponseTraced(nil, gen, packed, tm)
 		if err != nil {
 			t.Fatalf("accepted batch does not re-encode: %v", err)
 		}

@@ -12,7 +12,28 @@ import (
 	"time"
 
 	"repro/internal/obs"
+	"repro/internal/trace"
 )
+
+// Span names the server records, as constants for repolint's obskeys
+// pass. wire.request covers one frame from decode through response
+// write; decode/resolve/encode are its stage children, recorded only
+// for sampled traces.
+const (
+	spanRequest = "wire.request"
+	spanDecode  = "wire.decode"
+	spanResolve = "wire.resolve"
+	spanEncode  = "wire.encode"
+
+	attrPairs = "pairs"
+	attrGen   = "gen"
+)
+
+// SpanNames lists every span name this package records, for the
+// documentation drift test.
+func SpanNames() []string {
+	return []string{spanRequest, spanDecode, spanResolve, spanEncode}
+}
 
 // DefaultTimeout is the per-frame read/write deadline when
 // Server.Timeout is zero: a peer that stalls mid-frame (slow-loris)
@@ -25,6 +46,14 @@ const DefaultTimeout = 30 * time.Second
 // fabric.Fabric implements it.
 type Resolver interface {
 	ResolveBatchPacked(pairs [][2]int, out []uint64) (resolved int, generation uint64)
+}
+
+// TracedResolver is the optional extension a Resolver implements to
+// join the server's trace: the batch span it records becomes a child
+// of the wire request's resolve span instead of a locally minted
+// root. fabric.Fabric implements it.
+type TracedResolver interface {
+	ResolveBatchPackedTraced(parent trace.SpanContext, pairs [][2]int, out []uint64) (resolved int, generation uint64)
 }
 
 // Server serves the binary resolve protocol over a listener: one
@@ -45,6 +74,12 @@ type Server struct {
 	// bytes, deadline cuts, connection counts, request latency) on the
 	// registry. Per-connection stats are kept either way.
 	Metrics *obs.Registry
+	// Tracer, when set, records a wire.request span per frame. Traced
+	// (type 4) requests join the client's trace and inherit its
+	// sampling verdict; plain requests get a locally minted root keyed
+	// by connection and frame coordinates. nil disables spans; the
+	// timing trailer on traced responses is filled either way.
+	Tracer *trace.Tracer
 
 	mu        sync.Mutex
 	listeners map[net.Listener]struct{} // guarded by mu
@@ -293,6 +328,13 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 	defer conn.Close()
 	timeout := s.timeout()
 	m := s.m
+	tracer := s.Tracer
+	var tres TracedResolver
+	if tracer != nil {
+		// Only worth the indirection when spans are on; the plain
+		// interface call stays on the tracerless path.
+		tres, _ = s.Resolver.(TracedResolver)
+	}
 	fr := NewFrameReader(bufio.NewReaderSize(&countingReader{conn: conn, st: st, m: m}, 64<<10))
 	pairs := make([][2]int, 0, 1024)
 	packed := make([]uint64, 0, 1024)
@@ -342,30 +384,87 @@ func (s *Server) serveConn(conn net.Conn, st *connState) {
 			fail(code, err.Error())
 			return
 		}
-		var start time.Time
-		if m != nil {
-			start = time.Now()
-		}
-		if typ != TypeResolveRequest {
+		traced := typ == TypeResolveRequestTraced
+		start := time.Now()
+		if typ != TypeResolveRequest && !traced {
 			fail(ErrCodeBadType, fmt.Sprintf("unexpected frame type %d (want resolve request)", typ))
 			return
 		}
-		pairs, err = DecodeResolveRequest(payload, pairs[:0])
+		// The request span joins the client's trace when one came over
+		// the wire (keeping its sampling verdict), else it gets a local
+		// root keyed by connection and frame coordinates.
+		var parent trace.SpanContext
+		body := payload
+		if traced {
+			tc, terr := ParseTraceContext(payload)
+			if terr != nil {
+				fail(ErrCodeMalformed, terr.Error())
+				return
+			}
+			parent = trace.SpanContext{
+				Trace: trace.TraceID{Hi: tc.TraceHi, Lo: tc.TraceLo},
+				Span:  tc.SpanID,
+				Flags: tc.Flags,
+			}
+			body = payload[TraceContextSize:]
+		} else {
+			parent = tracer.Root(st.id, st.frames.Load()+1)
+		}
+		req := tracer.StartSpan(parent, spanRequest)
+		ds := tracer.StartChild(req.Context(), spanDecode)
+		pairs, err = DecodeResolveRequest(body, pairs[:0])
+		ds.End()
 		if err != nil {
+			req.End()
 			fail(ErrCodeMalformed, err.Error())
 			return
 		}
+		var tm Timing
+		tm.DecodeNS = time.Since(start).Nanoseconds()
 		if cap(packed) < len(pairs) {
 			packed = make([]uint64, len(pairs))
 		}
 		packed = packed[:len(pairs)]
-		_, gen := s.Resolver.ResolveBatchPacked(pairs, packed)
-		wbuf, err = AppendResolveResponse(wbuf[:0], gen, packed)
+		rs := tracer.StartChild(req.Context(), spanResolve)
+		resolveStart := time.Now()
+		var gen uint64
+		if tres != nil {
+			// Nest the resolver's own span under wire.resolve (under
+			// the request when sampling dropped the stage child).
+			rparent := rs.Context()
+			if !rparent.Valid() {
+				rparent = req.Context()
+			}
+			_, gen = tres.ResolveBatchPackedTraced(rparent, pairs, packed)
+		} else {
+			_, gen = s.Resolver.ResolveBatchPacked(pairs, packed)
+		}
+		tm.ResolveNS = time.Since(resolveStart).Nanoseconds()
+		rs.SetAttr(attrPairs, int64(len(pairs)))
+		rs.End()
+		es := tracer.StartChild(req.Context(), spanEncode)
+		encodeStart := time.Now()
+		if traced {
+			wbuf, err = AppendResolveResponseTraced(wbuf[:0], gen, packed, Timing{})
+		} else {
+			wbuf, err = AppendResolveResponse(wbuf[:0], gen, packed)
+		}
+		tm.EncodeNS = time.Since(encodeStart).Nanoseconds()
+		es.End()
 		if err != nil {
+			req.End()
 			fail(ErrCodeServer, err.Error())
 			return
 		}
-		if err := write(wbuf); err != nil {
+		if traced {
+			tm.TotalNS = time.Since(start).Nanoseconds()
+			PatchTiming(wbuf, tm)
+		}
+		werr := write(wbuf)
+		req.SetAttr(attrPairs, int64(len(pairs)))
+		req.SetAttr(attrGen, int64(gen))
+		req.End()
+		if werr != nil {
 			return
 		}
 		st.frames.Add(1)

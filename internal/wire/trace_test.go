@@ -1,0 +1,341 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/hashutil"
+	"repro/internal/trace"
+)
+
+func TestTracedRequestRoundTrip(t *testing.T) {
+	tc := TraceContext{TraceHi: 0x1122334455667788, TraceLo: 0x99AABBCCDDEEFF00, SpanID: 0xCAFE, Flags: 1}
+	pairs := [][2]int{{0, 1}, {MaxEndpoint, 7}, {3, 3}}
+	frame, err := AppendResolveRequestTraced(nil, tc, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	typ, n, err := ParseHeader(frame)
+	if err != nil || typ != TypeResolveRequestTraced || n != len(frame)-HeaderSize {
+		t.Fatalf("header: typ %d len %d err %v", typ, n, err)
+	}
+	if v := frame[2]; v != VersionTraced {
+		t.Fatalf("traced request carries version %d, want %d", v, VersionTraced)
+	}
+	gotTC, gotPairs, err := DecodeResolveRequestTraced(frame[HeaderSize:], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotTC != tc {
+		t.Fatalf("trace context %+v, want %+v", gotTC, tc)
+	}
+	if len(gotPairs) != len(pairs) {
+		t.Fatalf("decoded %d pairs, want %d", len(gotPairs), len(pairs))
+	}
+	for i := range pairs {
+		if gotPairs[i] != pairs[i] {
+			t.Fatalf("pair %d = %v, want %v", i, gotPairs[i], pairs[i])
+		}
+	}
+	// The batch after the context prefix is byte-identical to a v1
+	// request payload for the same pairs.
+	v1, err := AppendResolveRequest(nil, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame[HeaderSize+TraceContextSize:], v1[HeaderSize:]) {
+		t.Fatal("traced request batch bytes differ from the v1 encoding")
+	}
+}
+
+func TestTracedResponseRoundTripAndPatch(t *testing.T) {
+	packed := []uint64{0, ^uint64(0), 0xDEAD}
+	frame, err := AppendResolveResponseTraced(nil, 42, packed, Timing{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := frame[2]; v != VersionTraced {
+		t.Fatalf("traced response carries version %d, want %d", v, VersionTraced)
+	}
+	// The resolve payload proper sits at the same offsets as a v1
+	// response, byte for byte; only the trailer is new.
+	v1, err := AppendResolveResponse(nil, 42, packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(frame[HeaderSize:len(frame)-TimingSize], v1[HeaderSize:]) {
+		t.Fatal("traced response resolve bytes differ from the v1 encoding")
+	}
+
+	tm := Timing{TotalNS: 1000, DecodeNS: 100, ResolveNS: 700, EncodeNS: 150}
+	if err := PatchTiming(frame, tm); err != nil {
+		t.Fatal(err)
+	}
+	gen, gotPacked, gotTM, err := DecodeResolveResponseTraced(frame[HeaderSize:], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gen != 42 || gotTM != tm {
+		t.Fatalf("gen %d tm %+v, want 42 %+v", gen, gotTM, tm)
+	}
+	for i := range packed {
+		if gotPacked[i] != packed[i] {
+			t.Fatalf("packed[%d] = %#x, want %#x", i, gotPacked[i], packed[i])
+		}
+	}
+
+	if err := PatchTiming(frame[:HeaderSize+12], tm); err == nil {
+		t.Error("PatchTiming accepted a frame with no room for a trailer")
+	}
+}
+
+func TestParseHeaderVersionByType(t *testing.T) {
+	mk := func(version, typ byte) []byte {
+		h := make([]byte, HeaderSize)
+		binary.BigEndian.PutUint16(h[0:2], Magic)
+		h[2], h[3] = version, typ
+		return h
+	}
+	ok := []struct{ v, typ byte }{
+		{Version, TypeResolveRequest},
+		{Version, TypeResolveResponse},
+		{Version, TypeError},
+		{VersionTraced, TypeResolveRequestTraced},
+		{VersionTraced, TypeResolveResponseTraced},
+	}
+	for _, c := range ok {
+		if _, _, err := ParseHeader(mk(c.v, c.typ)); err != nil {
+			t.Errorf("version %d type %d rejected: %v", c.v, c.typ, err)
+		}
+	}
+	bad := []struct{ v, typ byte }{
+		{Version, TypeResolveRequestTraced},  // traced type under v1
+		{Version, TypeResolveResponseTraced}, // traced type under v1
+		{VersionTraced, TypeResolveRequest},  // v1 type under v2
+		{VersionTraced, TypeError},           // v1 type under v2
+		{3, TypeResolveRequest},              // unknown version
+		{VersionTraced, 6},                   // unknown type
+	}
+	for _, c := range bad {
+		if _, _, err := ParseHeader(mk(c.v, c.typ)); err == nil {
+			t.Errorf("version %d type %d accepted", c.v, c.typ)
+		}
+	}
+}
+
+func TestTracedDecodeRejectsMalformed(t *testing.T) {
+	if _, err := ParseTraceContext(make([]byte, TraceContextSize)); err == nil {
+		t.Error("context prefix with no batch accepted")
+	}
+	if _, _, err := DecodeResolveRequestTraced(make([]byte, 10), nil); err == nil {
+		t.Error("short traced request accepted")
+	}
+	// Valid prefix, corrupt batch count.
+	frame, _ := AppendResolveRequestTraced(nil, TraceContext{}, [][2]int{{1, 2}})
+	payload := append([]byte{}, frame[HeaderSize:]...)
+	binary.BigEndian.PutUint32(payload[TraceContextSize:], 9)
+	if _, _, err := DecodeResolveRequestTraced(payload, nil); err == nil {
+		t.Error("traced request with wrong count accepted")
+	}
+	if _, _, _, err := DecodeResolveResponseTraced(make([]byte, 12), nil); err == nil {
+		t.Error("traced response with no trailer accepted")
+	}
+	// Trailer present but body count wrong.
+	resp, _ := AppendResolveResponseTraced(nil, 1, []uint64{5}, Timing{})
+	payload = append([]byte{}, resp[HeaderSize:]...)
+	binary.BigEndian.PutUint32(payload[8:12], 7)
+	if _, _, _, err := DecodeResolveResponseTraced(payload, nil); err == nil {
+		t.Error("traced response with wrong count accepted")
+	}
+}
+
+// startTracedServer is startServer with a tracer attached.
+func startTracedServer(t *testing.T, r Resolver, tr *trace.Tracer) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := &Server{Resolver: r, Timeout: 2 * time.Second, Tracer: tr}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(l) }()
+	t.Cleanup(func() {
+		if err := srv.Close(); err != nil {
+			t.Errorf("server close: %v", err)
+		}
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrServerClosed) {
+				t.Errorf("Serve returned %v, want ErrServerClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Error("Serve did not return after Close")
+		}
+	})
+	return l.Addr().String()
+}
+
+// TestServerTracedEndToEnd drives traced frames through a live server
+// and checks the three promises: payloads match the untraced path
+// byte-for-byte, the timing trailer is filled and internally
+// consistent, and the server's spans join the client's trace.
+func TestServerTracedEndToEnd(t *testing.T) {
+	f := testFabric(t, false)
+	tr := trace.New(trace.Config{SampleNum: 1, SampleDen: 1, RecorderCap: 64})
+	addr := startTracedServer(t, f, tr)
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	n := f.Topology().Leaves()
+	st := hashutil.NewStream(0x7a, 2)
+	pairs := make([][2]int, 300)
+	for i := range pairs {
+		pairs[i] = [2]int{st.Intn(n), st.Intn(n)}
+	}
+	client := trace.New(trace.Config{SampleNum: 1, SampleDen: 1, RecorderCap: 16})
+	sc := client.Root(1, 1)
+	tc := TraceContext{TraceHi: sc.Trace.Hi, TraceLo: sc.Trace.Lo, SpanID: sc.Span, Flags: sc.Flags}
+
+	gen, packed, tm, err := c.ResolveBatchPackedTraced(tc, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make([]uint64, len(pairs))
+	wantGen := f.Generation().Seq()
+	f.Generation().ResolveBatchPacked(pairs, want)
+	if gen != wantGen {
+		t.Errorf("generation %d, want %d", gen, wantGen)
+	}
+	for i := range want {
+		if packed[i] != want[i] {
+			t.Fatalf("pair %v: packed %#x traced, %#x in process", pairs[i], packed[i], want[i])
+		}
+	}
+	if tm.TotalNS <= 0 {
+		t.Errorf("timing trailer not filled: %+v", tm)
+	}
+	if sum := tm.DecodeNS + tm.ResolveNS + tm.EncodeNS; sum > tm.TotalNS {
+		t.Errorf("stage sum %d exceeds total %d", sum, tm.TotalNS)
+	}
+
+	// The server's spans joined our trace: the flight recorder holds a
+	// wire.request rooted at our span, with the stage children inside.
+	byName := map[string]trace.SpanRecord{}
+	for _, rec := range tr.Spans(0) {
+		byName[rec.Name] = rec
+	}
+	req, ok := byName["wire.request"]
+	if !ok {
+		t.Fatalf("no wire.request span recorded; got %v", byName)
+	}
+	if req.TraceID != sc.Trace.String() {
+		t.Errorf("server span trace %s, want client trace %s", req.TraceID, sc.Trace.String())
+	}
+	if !req.Sampled {
+		t.Error("server span did not inherit the client's sampling verdict")
+	}
+	if req.Attrs["pairs"] != int64(len(pairs)) {
+		t.Errorf("wire.request attrs = %v", req.Attrs)
+	}
+	for _, stage := range []string{"wire.decode", "wire.resolve", "wire.encode"} {
+		child, ok := byName[stage]
+		if !ok {
+			t.Errorf("no %s span recorded", stage)
+			continue
+		}
+		if child.Parent != req.SpanID {
+			t.Errorf("%s parent = %s, want %s", stage, child.Parent, req.SpanID)
+		}
+	}
+
+	// Plain v1 requests keep working on the same connection — the
+	// traced protocol is additive.
+	genV1, packedV1, err := c.ResolveBatchPacked(pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if genV1 != gen {
+		t.Errorf("v1 generation %d after traced %d", genV1, gen)
+	}
+	for i := range want {
+		if packedV1[i] != want[i] {
+			t.Fatalf("pair %v: v1 packed %#x, want %#x", pairs[i], packedV1[i], want[i])
+		}
+	}
+}
+
+// TestServerUntracedSpansLocalRoot: a tracer-equipped server serving
+// v1 clients still records request spans, under locally minted roots.
+func TestServerUntracedSpansLocalRoot(t *testing.T) {
+	f := testFabric(t, false)
+	tr := trace.New(trace.Config{SampleNum: 1, SampleDen: 1, RecorderCap: 16})
+	addr := startTracedServer(t, f, tr)
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, _, err := c.ResolveBatchPacked([][2]int{{0, 1}}); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, rec := range tr.Spans(0) {
+		if rec.Name == "wire.request" && rec.TraceID != "" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no wire.request span for a v1 request; spans: %+v", tr.Spans(0))
+	}
+}
+
+// TestServerTracedSteadyStateAllocs pins the traced serve path: after
+// warmup, traced batches through a tracer-equipped server allocate
+// nothing per request on either side of the wire.
+func TestServerTracedSteadyStateAllocs(t *testing.T) {
+	f := testFabric(t, false)
+	// Sampling off: the flight recorder still sees wire.request, but
+	// no stage children are recorded — the production default.
+	tr := trace.New(trace.Config{SampleNum: 0, SampleDen: 1, RecorderCap: 64})
+	addr := startTracedServer(t, f, tr)
+	c, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	pairs := make([][2]int, 128)
+	n := f.Topology().Leaves()
+	st := hashutil.NewStream(0x99, 3)
+	for i := range pairs {
+		pairs[i] = [2]int{st.Intn(n), st.Intn(n)}
+	}
+	tc := TraceContext{TraceHi: 1, TraceLo: 2, SpanID: 3}
+	for i := 0; i < 4; i++ { // warmup: buffers grow, names intern
+		if _, _, _, err := c.ResolveBatchPackedTraced(tc, pairs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var ms0, ms1 runtime.MemStats
+	runtime.ReadMemStats(&ms0)
+	const rounds = 50
+	for i := 0; i < rounds; i++ {
+		if _, _, _, err := c.ResolveBatchPackedTraced(tc, pairs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	runtime.ReadMemStats(&ms1)
+	// The client side is strictly alloc-free; the server goroutine
+	// shares the process, so budget a handful of stray allocations
+	// (timer wheels, netpoll) rather than zero.
+	if per := float64(ms1.Mallocs-ms0.Mallocs) / rounds; per > 8 {
+		t.Errorf("traced steady state allocates %.1f objects per round trip", per)
+	}
+}

@@ -58,10 +58,11 @@ const (
 	// response would exceed the socket buffer many times over) and a
 	// bound lets both sides pre-size buffers.
 	MaxPairs = 65536
-	// MaxPayload is the largest legal payload (a full response:
-	// generation + count + MaxPairs packed words). A header declaring
-	// more is a protocol error — the reader never allocates past it.
-	MaxPayload = 12 + 8*MaxPairs
+	// MaxPayload is the largest legal payload (a full traced
+	// response: generation + count + MaxPairs packed words + timing
+	// trailer). A header declaring more is a protocol error — the
+	// reader never allocates past it.
+	MaxPayload = 12 + 8*MaxPairs + TimingSize
 	// MaxErrorLen bounds an error frame's message.
 	MaxErrorLen = 512
 	// MaxEndpoint is the largest encodable endpoint index (indexes are
@@ -96,13 +97,15 @@ func (e *RemoteError) Error() string {
 }
 
 // AppendHeader appends a frame header for a payload of the given type
-// and length.
+// and length. The version byte follows the type: traced frames carry
+// VersionTraced, everything else Version — so a v1-only peer rejects
+// traced traffic at the header, before any payload parsing.
 //
 //repro:hotpath
 func AppendHeader(buf []byte, typ byte, payloadLen int) []byte {
 	var h [HeaderSize]byte
 	binary.BigEndian.PutUint16(h[0:2], Magic)
-	h[2] = Version
+	h[2] = versionFor(typ)
 	h[3] = typ
 	binary.BigEndian.PutUint32(h[4:8], uint32(payloadLen))
 	return append(buf, h[:]...)
@@ -121,12 +124,19 @@ func ParseHeader(h []byte) (typ byte, payloadLen int, err error) {
 	if m := binary.BigEndian.Uint16(h[0:2]); m != Magic {
 		return 0, 0, fmt.Errorf("wire: bad magic %#04x", m)
 	}
-	if v := h[2]; v != Version {
-		return 0, 0, fmt.Errorf("wire: unsupported version %d (speak %d)", v, Version)
+	v := h[2]
+	if v != Version && v != VersionTraced {
+		return 0, 0, fmt.Errorf("wire: unsupported version %d (speak %d and %d)", v, Version, VersionTraced)
 	}
 	typ = h[3]
-	if typ != TypeResolveRequest && typ != TypeResolveResponse && typ != TypeError {
+	switch typ {
+	case TypeResolveRequest, TypeResolveResponse, TypeError,
+		TypeResolveRequestTraced, TypeResolveResponseTraced:
+	default:
 		return 0, 0, fmt.Errorf("wire: unknown frame type %d", typ)
+	}
+	if v != versionFor(typ) {
+		return 0, 0, fmt.Errorf("wire: frame type %d under version %d (want %d)", typ, v, versionFor(typ))
 	}
 	n := binary.BigEndian.Uint32(h[4:8])
 	if n > MaxPayload {
