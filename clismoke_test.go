@@ -34,6 +34,7 @@ func TestCLISmoke(t *testing.T) {
 		{"experiments", []string{"-table1"}},
 		{"experiments", []string{"-shift", "-seeds", "2"}},
 		{"experiments", []string{"-placement", "-seeds", "2"}},
+		{"experiments", []string{"-churn", "-seeds", "2"}},
 		{"experiments", []string{"-fidelity", "-bytes", "2048"}},
 		{"fabricd", []string{"-demo", "-xgft", "2;8,8;1,8"}},
 		{"fabricd", []string{"-demo", "-xgft", "2;8,8;1,4", "-sched", "telemetry"}},
@@ -393,6 +394,7 @@ func TestCLISmoke(t *testing.T) {
 	}
 	for _, args := range [][]string{
 		{"-placement", "-seeds", "2"},
+		{"-churn", "-seeds", "2"},
 		{"-fidelity", "-bytes", "2048"},
 	} {
 		if a, b := runSweep("1", args...), runSweep("8", args...); a != b {

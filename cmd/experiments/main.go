@@ -9,6 +9,7 @@
 //	experiments -faults             degraded-topology sweep (failed links)
 //	experiments -shift              shifting-traffic sweep (online re-optimization)
 //	experiments -placement          multi-tenant placement churn sweep
+//	experiments -churn              churn convergence sweep (incremental vs full re-optimization)
 //	experiments -fidelity           analytic bound vs venus simulation (rank agreement)
 //	experiments -all                everything above
 //
@@ -48,6 +49,7 @@ func main() {
 		faults   = flag.Bool("faults", false, "extension: degraded-topology sweep (failed top-level links)")
 		shift    = flag.Bool("shift", false, "extension: shifting-traffic sweep (static d-mod-k vs online re-optimization)")
 		place    = flag.Bool("placement", false, "extension: multi-tenant placement churn sweep (scheduler policies)")
+		churn    = flag.Bool("churn", false, "extension: churn convergence sweep (incremental vs full re-optimization)")
 		fidelity = flag.Bool("fidelity", false, "extension: analytic bound vs venus simulation fidelity sweep")
 		ablate   = flag.Bool("ablation", false, "ablation: balanced vs uniform relabeling")
 		adaptive = flag.Bool("adaptive", false, "extension: adaptive vs oblivious routing")
@@ -243,6 +245,22 @@ func main() {
 				fail(err)
 			}
 			experiments.WritePlacementSweep(os.Stdout, rows)
+			done()
+		}
+	}
+	if *all || *churn {
+		if opt.Engine == experiments.Simulated && !*churn {
+			// Analytic-only, like the fault sweep: during -all with a
+			// simulated engine, skip it visibly rather than abort.
+			fmt.Println("=== Extension — churn convergence — skipped (analytic engine only) ===")
+			fmt.Println()
+		} else {
+			done := section("Extension — churn convergence (incremental vs full re-optimization)")
+			rows, err := experiments.ChurnSweep(opt)
+			if err != nil {
+				fail(err)
+			}
+			experiments.WriteChurnSweep(os.Stdout, rows)
 			done()
 		}
 	}

@@ -24,6 +24,11 @@ func TestSpanInventoryDocumented(t *testing.T) {
 	if len(inventory) == 0 {
 		t.Fatal("no span names exported — the tracing layer lost its inventory")
 	}
+	// The incremental-evaluation instruments ride the same drift
+	// check: the "Incremental evaluation" docs sections must name
+	// every metric and journal event the delta paths record.
+	inventory = append(inventory, evaluate.DeltaMetricNames()...)
+	inventory = append(inventory, fabric.IncrementalObsNames()...)
 
 	for _, doc := range []string{"README.md", "docs/ARCHITECTURE.md"} {
 		body, err := os.ReadFile(doc)

@@ -66,6 +66,49 @@ func BenchmarkCachedScoreRoutesHit(b *testing.B) {
 	}
 }
 
+// BenchmarkApplyRouteDelta prices the incremental scoring primitive:
+// one churn-scale candidate (every 64th route moved) applied to a
+// materialized LoadState, read, and reverted. This is what each
+// optimizer candidate costs on the delta path, against
+// BenchmarkAnalyticScore's full census; zero steady-state allocations
+// is part of the contract.
+func BenchmarkApplyRouteDelta(b *testing.B) {
+	tp, algo, phases := benchSetup(b)
+	obs := phases[0]
+	tbl, err := core.BuildTable(tp, algo, obs)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ls, err := NewLoadState(tp, obs, tbl.Routes)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var flows []pattern.Flow
+	var oldR, newR []xgft.Route
+	for i := 0; i < len(tbl.Routes); i += 64 {
+		r := tbl.Routes[i]
+		if len(r.Up) < 2 {
+			continue
+		}
+		nr := xgft.Route{Src: r.Src, Dst: r.Dst, Up: append([]int(nil), r.Up...)}
+		nr.Up[1] = (nr.Up[1] + 1) % tp.W(1)
+		flows = append(flows, obs.Flows[i])
+		oldR = append(oldR, r)
+		newR = append(newR, nr)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := ls.ApplyRouteDelta(flows, oldR, newR); err != nil {
+			b.Fatal(err)
+		}
+		_ = ls.Slowdown()
+		if err := ls.ApplyRouteDelta(flows, newR, oldR); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 func BenchmarkVenusScore(b *testing.B) {
 	tp, algo, _ := benchSetup(b)
 	// Smaller messages than the analytic benchmarks: simulation time

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func churnOpts(par int) Options {
+	return Options{Seeds: 2, Parallelism: par}
+}
+
+func TestChurnSweepModesAgree(t *testing.T) {
+	rows, err := ChurnSweep(churnOpts(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != len(churnModes) {
+		t.Fatalf("%d rows, want %d", len(rows), len(churnModes))
+	}
+	inc, full := rows[0], rows[1]
+	if inc.Mode != "incremental" || full.Mode != "full" {
+		t.Fatalf("row order %q/%q, want incremental/full", inc.Mode, full.Mode)
+	}
+	// ChurnSweep errors out on per-seed hash divergence; the aggregate
+	// decision stream and every deterministic counter must agree too.
+	if inc.DecisionHash != full.DecisionHash {
+		t.Errorf("decision hashes diverged: %#x vs %#x", inc.DecisionHash, full.DecisionHash)
+	}
+	if inc.Placed != full.Placed || inc.Rejected != full.Rejected ||
+		inc.Flaps != full.Flaps || inc.Optimizes != full.Optimizes || inc.Swaps != full.Swaps {
+		t.Errorf("deterministic counters diverged:\nincremental %+v\nfull        %+v", inc, full)
+	}
+	if inc.Placed == 0 {
+		t.Error("churn schedule placed no jobs")
+	}
+	if inc.Swaps == 0 {
+		t.Error("churn schedule never swapped a generation — the sweep is not exercising re-optimization")
+	}
+	// The delta discipline's fingerprints: incremental swaps install by
+	// route delta (touched counts accumulate), full swaps repack.
+	if inc.TouchedRoutes == 0 {
+		t.Error("incremental mode installed swaps without route deltas")
+	}
+	if full.TouchedRoutes != 0 {
+		t.Errorf("full mode reports %d touched routes, want 0 (full repack)", full.TouchedRoutes)
+	}
+	if len(inc.SwapNS) != inc.Swaps || len(full.SwapNS) != full.Swaps {
+		t.Errorf("swap latency samples %d/%d, want one per swap (%d/%d)",
+			len(inc.SwapNS), len(full.SwapNS), inc.Swaps, full.Swaps)
+	}
+}
+
+// TestChurnSweepParallelismInvariant is the sweep's determinism gate:
+// the deterministic output (everything outside bracketed wall-clock
+// lines) must be byte-identical between a sequential run and a
+// maximally parallel one.
+func TestChurnSweepParallelismInvariant(t *testing.T) {
+	render := func(par int) string {
+		rows, err := ChurnSweep(churnOpts(par))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		WriteChurnSweep(&buf, rows)
+		var kept []string
+		for _, line := range strings.Split(buf.String(), "\n") {
+			if strings.HasPrefix(strings.TrimSpace(line), "[") {
+				continue
+			}
+			kept = append(kept, line)
+		}
+		return strings.Join(kept, "\n")
+	}
+	seq, par := render(1), render(8)
+	if seq != par {
+		t.Errorf("sequential and parallel runs differ:\n--- sequential ---\n%s\n--- parallel ---\n%s", seq, par)
+	}
+}

@@ -207,6 +207,62 @@ func BenchmarkOptimize(b *testing.B) {
 	}
 }
 
+// optimizeBenchFabric is the acceptance topology XGFT(2;16,16;1,10)
+// with all-pairs traffic observed — the Optimize path the incremental
+// scoring claim is benchmarked on.
+func optimizeBenchFabric(b *testing.B) *Fabric {
+	b.Helper()
+	tp := xgft.MustNew(2, []int{16, 16}, []int{1, 10})
+	f, err := New(Config{Topo: tp, Algo: core.NewDModK(tp), Telemetry: true})
+	if err != nil {
+		b.Fatal(err)
+	}
+	tel := f.Telemetry()
+	n := tp.Leaves()
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				tel.RecordN(s, d, 64)
+			}
+		}
+	}
+	// Converge once so the timed passes measure the steady churn
+	// regime: serving table == best candidate, no swap per pass.
+	if _, err := f.Optimize(OptimizeConfig{}); err != nil {
+		b.Fatal(err)
+	}
+	return f
+}
+
+// BenchmarkOptimizeIncremental measures a steady-state delta-path
+// re-optimization pass on XGFT(2;16,16;1,10): candidates score as
+// route-deltas against the serving generation's LoadState.
+func BenchmarkOptimizeIncremental(b *testing.B) {
+	f := optimizeBenchFabric(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := f.Optimize(OptimizeConfig{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Incremental {
+			b.Fatal("pass did not take the delta path")
+		}
+	}
+}
+
+// BenchmarkOptimizeFullRebuild is the same pass forced onto the
+// from-scratch path — the denominator of the incremental speedup.
+func BenchmarkOptimizeFullRebuild(b *testing.B) {
+	f := optimizeBenchFabric(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := f.Optimize(OptimizeConfig{FullRebuild: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkFailLinkSwap measures a full degrade cycle: incremental
 // patch, deadlock verification, and generation swap.
 func BenchmarkFailLinkSwap(b *testing.B) {

@@ -1,0 +1,409 @@
+package fabric
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/contention"
+	"repro/internal/core"
+	"repro/internal/evaluate"
+	"repro/internal/hashutil"
+	"repro/internal/pattern"
+	"repro/internal/xgft"
+)
+
+// churnPattern is a mixed observed load: an adversarial funnel plus
+// keyed-random flows, the shape a telemetry snapshot has mid-churn.
+func churnPattern(tp *xgft.Topology, flows int, key uint64) *pattern.Pattern {
+	n := tp.Leaves()
+	p := adversarialPattern(tp)
+	for i := 0; i < flows; i++ {
+		s := int(hashutil.Mix(key, 1, uint64(i)) % uint64(n))
+		d := int(hashutil.Mix(key, 2, uint64(i)) % uint64(n))
+		if s == d {
+			continue
+		}
+		p.Add(s, d, int64(hashutil.Mix(key, 3, uint64(i))%4096)+1)
+	}
+	return p
+}
+
+func feedTelemetry(t *testing.T, f *Fabric, p *pattern.Pattern) {
+	t.Helper()
+	tel := f.Telemetry()
+	for _, fl := range p.Flows {
+		tel.RecordN(fl.Src, fl.Dst, uint64(fl.Bytes))
+	}
+}
+
+// TestOptimizeIncrementalMatchesFull is the pass-level differential
+// contract: the delta path and the from-scratch path must agree on
+// every candidate score bit-for-bit, make the same swap decision, and
+// install generations serving identical routes — healthy and under
+// faults.
+func TestOptimizeIncrementalMatchesFull(t *testing.T) {
+	tp := xgft.MustNew(2, []int{8, 8}, []int{1, 4})
+	inc := telemetryFabric(t, tp, core.NewDModK(tp))
+	full := telemetryFabric(t, tp, core.NewDModK(tp))
+	obs := churnPattern(tp, 200, 0xc0ffee)
+
+	for round := 0; round < 3; round++ {
+		if round == 1 {
+			// Degrade both fabrics identically: the delta path must
+			// compose with fault views exactly like the full path.
+			if _, err := inc.FailLink(1, 2, 1); err != nil {
+				t.Fatal(err)
+			}
+			if _, err := full.FailLink(1, 2, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+		feedTelemetry(t, inc, obs)
+		feedTelemetry(t, full, obs)
+		ri, err := inc.Optimize(OptimizeConfig{Reset: true, Seed: uint64(round) + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rf, err := full.Optimize(OptimizeConfig{Reset: true, Seed: uint64(round) + 1, FullRebuild: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ri.Incremental {
+			t.Fatalf("round %d: analytic pass did not take the delta path", round)
+		}
+		if rf.Incremental {
+			t.Fatalf("round %d: FullRebuild pass claims the delta path", round)
+		}
+		if ri.Current != rf.Current {
+			t.Fatalf("round %d: current %v (incremental) != %v (full)", round, ri.Current, rf.Current)
+		}
+		if len(ri.Candidates) != len(rf.Candidates) {
+			t.Fatalf("round %d: %d vs %d candidates", round, len(ri.Candidates), len(rf.Candidates))
+		}
+		for i := range ri.Candidates {
+			if ri.Candidates[i].Algo != rf.Candidates[i].Algo || ri.Candidates[i].Slowdown != rf.Candidates[i].Slowdown {
+				t.Fatalf("round %d: candidate %d: %+v (incremental) != %+v (full)", round, i, ri.Candidates[i], rf.Candidates[i])
+			}
+			// A delta-path pass may legitimately score a candidate from
+			// scratch past the cutover, but then the measured delta must
+			// be recorded — Touched == 0 with Incremental == false would
+			// mean a silent wholesale fallback.
+			if c := ri.Candidates[i]; !c.Incremental && c.Touched == 0 {
+				t.Errorf("round %d: candidate %d (%s) skipped the delta path without a measured delta", round, i, c.Algo)
+			}
+		}
+		if ri.Swapped != rf.Swapped || ri.Best != rf.Best || ri.BestSlowdown != rf.BestSlowdown {
+			t.Fatalf("round %d: decision %v/%s/%v != %v/%s/%v", round,
+				ri.Swapped, ri.Best, ri.BestSlowdown, rf.Swapped, rf.Best, rf.BestSlowdown)
+		}
+		if ri.Swapped && ri.SwapTouched == 0 {
+			t.Errorf("round %d: swap installed but SwapTouched = 0", round)
+		}
+		// The installed generations must serve identical routes.
+		gi, gf := inc.Generation(), full.Generation()
+		n := tp.Leaves()
+		for s := 0; s < n; s++ {
+			for d := 0; d < n; d++ {
+				if s == d {
+					continue
+				}
+				a, aok := gi.Resolve(s, d)
+				b, bok := gf.Resolve(s, d)
+				if aok != bok || !routeEqual(a, b) {
+					t.Fatalf("round %d: pair (%d,%d): %v/%v (incremental) != %v/%v (full)", round, s, d, a, aok, b, bok)
+				}
+			}
+		}
+	}
+	if inc.Generation().Stats().Seq != full.Generation().Stats().Seq {
+		t.Errorf("generation sequences diverged: %d vs %d",
+			inc.Generation().Stats().Seq, full.Generation().Stats().Seq)
+	}
+}
+
+// TestGenFromTableDeltaSharesUntouchedRows pins the delta swap's
+// memory discipline: installing a table that changes a handful of
+// routes clones only the rows those routes live in — every other row
+// is the same array as the predecessor generation's, exactly like
+// FailLink's patch. (A real optimize winner may legitimately differ
+// on every row, so this is tested against a crafted near-identical
+// table.)
+func TestGenFromTableDeltaSharesUntouchedRows(t *testing.T) {
+	tp := xgft.MustNew(2, []int{8, 8}, []int{1, 4})
+	f := telemetryFabric(t, tp, core.NewDModK(tp))
+	cur := f.Generation()
+	tbl, err := core.BuildTable(tp, core.NewDModK(tp), f.pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Move three routes of source 0 and one of source 5 to a
+	// different root: four touched routes across two rows.
+	next := &core.Table{Topo: tbl.Topo, Algo: tbl.Algo, Routes: append([]xgft.Route(nil), tbl.Routes...)}
+	perSrc := map[int]int{0: 3, 5: 1} // rows to touch and how many routes in each
+	moved := 0
+	for i, r := range next.Routes {
+		if perSrc[r.Src] == 0 || len(r.Up) < 2 {
+			continue
+		}
+		nr := xgft.Route{Src: r.Src, Dst: r.Dst, Up: append([]int(nil), r.Up...)}
+		nr.Up[1] = (nr.Up[1] + 1) % tp.W(1)
+		next.Routes[i] = nr
+		perSrc[r.Src]--
+		moved++
+	}
+	if moved != 4 {
+		t.Fatalf("crafted table moved %d routes, want 4", moved)
+	}
+	gen, touched, err := f.genFromTableDelta(next, cur.view, cur, "crafted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if touched != 4 {
+		t.Errorf("delta pack touched %d routes, want 4", touched)
+	}
+	shared, cloned := 0, 0
+	for s := range gen.shards {
+		if isSameRow(gen.shards[s], cur.shards[s]) {
+			shared++
+		} else {
+			cloned++
+		}
+	}
+	if cloned != 2 {
+		t.Errorf("%d rows cloned, want exactly the 2 touched sources", cloned)
+	}
+	if shared != tp.Leaves()-2 {
+		t.Errorf("%d rows shared, want %d", shared, tp.Leaves()-2)
+	}
+	// The packed generation resolves the moved routes, not the old ones.
+	for i, r := range next.Routes {
+		got, ok := gen.Resolve(r.Src, r.Dst)
+		if !ok || !routeEqual(got, r) {
+			t.Fatalf("pair (%d,%d) resolves %v/%v, want %v (route %d)", r.Src, r.Dst, got, ok, r, i)
+		}
+	}
+}
+
+// TestScoreCandidateCutover pins the delta/flat decision: a candidate
+// identical to the serving table scores on the delta path with zero
+// touched routes; a structurally different candidate crosses the
+// cutover and scores from scratch — with its measured delta recorded
+// and a score bit-identical to the historical path.
+func TestScoreCandidateCutover(t *testing.T) {
+	tp := xgft.MustNew(2, []int{8, 8}, []int{1, 4})
+	f := telemetryFabric(t, tp, core.NewDModK(tp))
+	obs := churnPattern(tp, 150, 0xcafe)
+	cur := f.Generation()
+	base := f.baseState(obs, cur)
+	ls, err := evaluate.NewLoadState(f.topo, base.q, base.routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	same, err := core.BuildTable(tp, core.NewDModK(tp), f.pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs, err := f.scoreCandidate(obs, base, ls, cur.view, same)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cs.Incremental || cs.Touched != 0 {
+		t.Errorf("serving-table candidate scored %+v, want incremental with 0 touched", cs)
+	}
+	if cs.Slowdown != ls.Slowdown() {
+		t.Errorf("serving-table candidate score %v, want base slowdown %v", cs.Slowdown, ls.Slowdown())
+	}
+
+	// Move every multi-hop route to a different root: a wholesale
+	// alternative table, the shape a distinct algorithm produces.
+	far := &core.Table{Topo: same.Topo, Algo: "far", Routes: append([]xgft.Route(nil), same.Routes...)}
+	for i, r := range far.Routes {
+		if len(r.Up) < 2 {
+			continue
+		}
+		nr := xgft.Route{Src: r.Src, Dst: r.Dst, Up: append([]int(nil), r.Up...)}
+		nr.Up[1] = (nr.Up[1] + 1) % tp.W(1)
+		far.Routes[i] = nr
+	}
+	cs, err = f.scoreCandidate(obs, base, ls, cur.view, far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Incremental {
+		t.Errorf("wholesale candidate took the delta path: %+v", cs)
+	}
+	if cs.Touched == 0 || cs.Touched*deltaScoreCutover <= len(base.q.Flows) {
+		t.Errorf("wholesale candidate recorded %d touched of %d flows, want a delta past the cutover", cs.Touched, len(base.q.Flows))
+	}
+	want, err := f.scoreRoutes(obs, func(s, d int) (xgft.Route, bool) {
+		return core.RerouteAvoiding(cur.view, far.Routes[allPairsIndex(tp.Leaves(), s, d)])
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cs.Slowdown != want {
+		t.Errorf("wholesale candidate score %v, want historical-path score %v", cs.Slowdown, want)
+	}
+	// The cutover score must not have perturbed the shared base state.
+	if got := ls.Slowdown(); got != base.mustScore(t, f) {
+		t.Errorf("base LoadState drifted to %v after cutover scoring", got)
+	}
+}
+
+// mustScore recomputes the base slowdown from scratch.
+func (b *optimizeBase) mustScore(t *testing.T, f *Fabric) float64 {
+	t.Helper()
+	r, err := f.eval.ScoreRoutes(f.topo, b.q, b.routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r.Slowdown
+}
+
+// TestOptimizeIncrementalRace runs delta-path optimize passes and
+// fault churn while readers hammer ResolveBatch — the incremental
+// scorer must never perturb what concurrent readers observe (it works
+// on its own LoadState; generations stay immutable). Run with -race.
+func TestOptimizeIncrementalRace(t *testing.T) {
+	tp := xgft.MustNew(2, []int{8, 8}, []int{1, 4})
+	f := telemetryFabric(t, tp, core.NewDModK(tp))
+	n := tp.Leaves()
+	obs := churnPattern(tp, 100, 0xace)
+
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			h := uint64(g + 1)
+			pairs := make([][2]int, 64)
+			out := make([]xgft.Route, len(pairs))
+			for !stop.Load() {
+				for i := range pairs {
+					h = hashutil.Splitmix64(h)
+					pairs[i] = [2]int{int(h % uint64(n)), int(h >> 32 % uint64(n))}
+				}
+				f.ResolveBatch(pairs, out)
+				for i, r := range out {
+					if pairs[i][0] == pairs[i][1] || r.Up == nil {
+						continue
+					}
+					if err := r.Validate(tp); err != nil {
+						select {
+						case errs <- err:
+						default:
+						}
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	for round := 0; round < 3 && len(errs) == 0; round++ {
+		feedTelemetry(t, f, obs)
+		res, err := f.Optimize(OptimizeConfig{Reset: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Incremental {
+			t.Fatal("optimize pass did not take the delta path")
+		}
+		if _, err := f.FailLink(1, 1, round%4); err != nil {
+			t.Fatal(err)
+		}
+		feedTelemetry(t, f, obs)
+		if _, err := f.Optimize(OptimizeConfig{Reset: true}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.Heal(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stop.Store(true)
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestOptimizeIncrementalSpeedup is the acceptance measurement:
+// incremental candidate scoring must be at least 5x faster than a
+// from-scratch SlowdownRoutes on the XGFT(2;16,16;1,10) Optimize
+// path, in the steady-churn regime the issue motivates (a candidate
+// differing from the serving table on a small fraction of routes).
+func TestOptimizeIncrementalSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing comparison, skipped in -short")
+	}
+	tp := xgft.MustNew(2, []int{16, 16}, []int{1, 10})
+	n := tp.Leaves()
+	obs := pattern.AllToAll(n, 64)
+	tbl, err := core.BuildTable(tp, core.NewDModK(tp), obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	routes := tbl.Routes
+	ls, err := evaluate.NewLoadState(tp, obs, routes)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The candidate moves every 64th observed route to a different
+	// up-port — churn-scale drift from the serving table.
+	var flows []pattern.Flow
+	var oldR, newR []xgft.Route
+	candRoutes := append([]xgft.Route(nil), routes...)
+	for i := 0; i < len(routes); i += 64 {
+		r := routes[i]
+		if len(r.Up) < 2 {
+			continue
+		}
+		nr := xgft.Route{Src: r.Src, Dst: r.Dst, Up: append([]int(nil), r.Up...)}
+		nr.Up[1] = (nr.Up[1] + 1) % tp.W(1)
+		candRoutes[i] = nr
+		flows = append(flows, obs.Flows[i])
+		oldR = append(oldR, r)
+		newR = append(newR, nr)
+	}
+
+	wantScore, err := contention.SlowdownRoutes(tp, obs, candRoutes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	incremental := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if err := ls.ApplyRouteDelta(flows, oldR, newR); err != nil {
+				b.Fatal(err)
+			}
+			if got := ls.Slowdown(); got != wantScore {
+				b.Fatalf("incremental score %v, want %v", got, wantScore)
+			}
+			if err := ls.ApplyRouteDelta(flows, newR, oldR); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	fromScratch := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			got, err := contention.SlowdownRoutes(tp, obs, candRoutes)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if got != wantScore {
+				b.Fatalf("full score %v, want %v", got, wantScore)
+			}
+		}
+	})
+	incNS := float64(incremental.T.Nanoseconds()) / float64(incremental.N)
+	fullNS := float64(fromScratch.T.Nanoseconds()) / float64(fromScratch.N)
+	ratio := fullNS / incNS
+	t.Logf("candidate scoring: incremental %.0f ns, from-scratch %.0f ns, speedup %.1fx", incNS, fullNS, ratio)
+	if ratio < 5 {
+		t.Errorf("incremental candidate scoring only %.1fx faster than SlowdownRoutes, want >= 5x", ratio)
+	}
+}

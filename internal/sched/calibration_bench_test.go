@@ -1,0 +1,13 @@
+package sched_test
+
+import (
+	"testing"
+
+	"repro/internal/benchcal"
+)
+
+// BenchmarkCalibration is the shared machine-speed reference
+// (internal/benchcal): cmd/benchgate divides this package's gated
+// benchmarks by its drift ratio so the regression gate tracks code,
+// not CI-runner speed.
+func BenchmarkCalibration(b *testing.B) { benchcal.Bench(b) }

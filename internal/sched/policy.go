@@ -7,6 +7,7 @@ import (
 
 	"repro/internal/evaluate"
 	"repro/internal/hashutil"
+	"repro/internal/obs"
 	"repro/internal/pattern"
 	"repro/internal/xgft"
 )
@@ -44,6 +45,16 @@ type Request struct {
 	// hand-built request may leave it nil, which scores with the
 	// analytic default.
 	Evaluator evaluate.Evaluator
+	// FullRescore forces the telemetry policy onto its from-scratch
+	// path: every candidate re-embeds the job into the background and
+	// is scored by a full evaluator pass, instead of applying the
+	// job as a pattern-delta to a shared background LoadState.
+	// Scores and placements are bit-identical either way; the flag
+	// exists for that comparison (the churn sweep's full mode).
+	FullRescore bool
+	// Metrics, when set, attaches the evaluate_* delta instruments to
+	// the background LoadState the telemetry policy scores against.
+	Metrics *obs.Registry
 }
 
 // Policy chooses leaves for a job. Place must return exactly req.N
@@ -162,6 +173,14 @@ const telemetryCandidates = 4
 // This is the placement counterpart of the fabric's telemetry-driven
 // table optimizer: the same observed-traffic signal, steering
 // allocation instead of routing.
+//
+// Under the analytic evaluator the background is materialized once
+// into an evaluate.LoadState and each candidate is scored by applying
+// its remapped job flows as a pattern-delta and reverting —
+// O(job flows) per candidate instead of re-resolving and re-scoring
+// the whole background. Request.FullRescore (or a non-analytic
+// evaluator) selects the from-scratch path; both produce bit-identical
+// scores and therefore identical placements.
 func Telemetry() Policy { return telemetryPolicy{} }
 
 type telemetryPolicy struct{}
@@ -185,9 +204,16 @@ func (telemetryPolicy) Place(req *Request) ([]int, error) {
 		sort.Ints(c)
 		cands = append(cands, c)
 	}
+	ls := backgroundLoadState(req)
 	best, bestScore := -1, 0.0
 	for i, cand := range cands {
-		score, err := scorePlacement(req, cand)
+		var score float64
+		var err error
+		if ls != nil {
+			score, err = scorePlacementDelta(req, ls, cand)
+		} else {
+			score, err = scorePlacement(req, cand)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -196,6 +222,71 @@ func (telemetryPolicy) Place(req *Request) ([]int, error) {
 		}
 	}
 	return cands[best], nil
+}
+
+// backgroundLoadState materializes the background traffic's per-link
+// loads under the installed routes, shared across every candidate of
+// one placement. nil selects the from-scratch path: an explicit
+// FullRescore, or an evaluator whose score is not a pure per-link
+// load function (anything non-analytic).
+func backgroundLoadState(req *Request) *evaluate.LoadState {
+	if req.FullRescore {
+		return nil
+	}
+	if req.Evaluator != nil && req.Evaluator.Name() != evaluate.Analytic {
+		return nil
+	}
+	n := req.Topo.Leaves()
+	q := pattern.New(n)
+	var routes []xgft.Route
+	for _, fl := range req.Background.Flows {
+		if fl.Src == fl.Dst {
+			continue
+		}
+		r, ok := req.Resolve(fl.Src, fl.Dst)
+		if !ok {
+			continue
+		}
+		q.Add(fl.Src, fl.Dst, fl.Bytes)
+		routes = append(routes, r)
+	}
+	ls, err := evaluate.NewLoadState(req.Topo, q, routes)
+	if err != nil {
+		return nil
+	}
+	if req.Metrics != nil {
+		ls.Instrument(req.Metrics)
+	}
+	return ls
+}
+
+// scorePlacementDelta scores one candidate by applying the job's
+// remapped flows as a pattern-delta to the shared background
+// LoadState and reverting. Flow inclusion mirrors scorePlacement
+// exactly — self-flows and pairs the fabric cannot resolve are
+// dropped — and the loads are exact int64 sums, so the score is
+// bit-identical to the from-scratch path.
+func scorePlacementDelta(req *Request, ls *evaluate.LoadState, leaves []int) (float64, error) {
+	add := make([]evaluate.RoutedFlow, 0, len(req.Pattern.Flows))
+	for _, fl := range req.Pattern.Flows {
+		src, dst := leaves[fl.Src], leaves[fl.Dst]
+		if src == dst {
+			continue
+		}
+		r, ok := req.Resolve(src, dst)
+		if !ok {
+			continue
+		}
+		add = append(add, evaluate.RoutedFlow{Route: r, Bytes: fl.Bytes})
+	}
+	if err := ls.ApplyPatternDelta(add, nil); err != nil {
+		return 0, err
+	}
+	score := ls.Slowdown()
+	if err := ls.ApplyPatternDelta(nil, add); err != nil {
+		return 0, err
+	}
+	return score, nil
 }
 
 // scorePlacement embeds the job (remapped onto the candidate leaves)

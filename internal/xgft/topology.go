@@ -273,6 +273,8 @@ func (t *Topology) FormatLabel(level, index int) string {
 
 // Parent returns the index (at level+1) of the parent reached from the
 // node (level, index) through up-port p in [0, W(level)).
+//
+//repro:hotpath
 func (t *Topology) Parent(level, index, p int) int {
 	// Going up replaces digit `level` (an M-digit of radix m[level])
 	// with the W-digit p. Recompute the mixed-radix index with the
@@ -370,6 +372,8 @@ func (t *Topology) NCAIndex(s int, up []int) int {
 // through port p; the same ID also identifies the paired down channel
 // (parent -> child over the same wire). IDs are dense in
 // [0, TotalChannels()).
+//
+//repro:hotpath
 func (t *Topology) UpChannelID(level, index, p int) int {
 	return t.upChanBase[level] + index*t.w[level] + p
 }
